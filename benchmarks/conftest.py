@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a Table-I row, a
+figure panel, or an ablation the analysis calls out) and prints the
+paper-style output so ``pytest benchmarks/ --benchmark-only -s`` doubles as
+the reproduction report.  Wall-clock timings come from pytest-benchmark;
+every expensive sweep runs exactly once via ``benchmark.pedantic``.
+"""
+
+import sys
+
+import pytest
+
+
+def report(title: str, body: str) -> None:
+    """Print a titled block to the real stdout (visible under -s and in
+    captured benchmark logs)."""
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n", file=sys.stderr)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

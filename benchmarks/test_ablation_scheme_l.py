@@ -1,0 +1,102 @@
+"""L-maximum-hop access ablation (extension; reference [9] of the paper).
+
+Scheme B/C require every MS to reach a base station in one wireless
+contact; the L-hop generalisation trades per-packet wireless work for
+coverage.  This benchmark sweeps the hop budget L on a sparse BS
+deployment and reports coverage, generic access rate and the (constant,
+n-independent) access path length -- the delay claim of [9].
+"""
+
+import numpy as np
+
+from repro.infrastructure.backbone import Backbone
+from repro.routing.scheme_l import SchemeL
+from repro.simulation.traffic import permutation_traffic
+from repro.utils.tables import render_table
+
+from conftest import report
+
+N, K = 800, 10
+RANGE = 0.05
+
+
+def _build(max_hops, seed=0):
+    rng = np.random.default_rng(seed)
+    ms = rng.random((N, 2))
+    bs = rng.random((K, 2))
+    ms_zone = np.zeros(N, dtype=int)
+    bs_zone = np.zeros(K, dtype=int)
+    return SchemeL(
+        ms, bs, ms_zone, bs_zone, Backbone(K, 100.0), RANGE, max_hops
+    )
+
+
+def test_hop_budget_sweep(once):
+    """Coverage rises with L; once covered, extra hops only add work."""
+
+    def sweep():
+        rows = []
+        traffic = permutation_traffic(np.random.default_rng(1), N)
+        for max_hops in (1, 2, 4, 8, 16, 32):
+            scheme = _build(max_hops)
+            result = scheme.sustainable_rate(traffic)
+            finite = scheme.hop_counts[np.isfinite(scheme.hop_counts)]
+            mean_hops = float(finite.mean()) if finite.size else float("nan")
+            rows.append(
+                (
+                    max_hops,
+                    scheme.coverage,
+                    result.details.get("generic_rate", 0.0),
+                    mean_hops,
+                )
+            )
+        return rows
+
+    rows = once(sweep)
+    report(
+        f"Scheme L ablation (n = {N}, k = {K}, sparse deployment)",
+        render_table(
+            ["L", "coverage", "rate (0 until full coverage)", "mean access hops"],
+            [
+                [l, f"{cov:.1%}", f"{rate:.3e}", f"{hops:.2f}"]
+                for l, cov, rate, hops in rows
+            ],
+        ),
+    )
+    coverages = [cov for _, cov, _, _ in rows]
+    assert coverages == sorted(coverages)  # monotone in L
+    assert coverages[0] < 0.9  # sparse: single-hop leaves holes
+    assert coverages[-1] > 0.95  # a generous budget covers the network
+    hops = [h for _, cov, _, h in rows if cov > 0]
+    assert hops == sorted(hops)  # deeper budgets reach farther MSs
+
+
+def test_access_delay_constant_in_n(once):
+    """The [9] claim: access path length bounded by L regardless of n."""
+
+    def sweep():
+        out = {}
+        for n in (200, 800, 3200):
+            rng = np.random.default_rng(n)
+            ms = rng.random((n, 2))
+            bs = rng.random((16, 2))
+            scheme = SchemeL(
+                ms, bs, np.zeros(n, int), np.zeros(16, int),
+                Backbone(16, 1.0), transmission_range=0.12, max_hops=4,
+            )
+            finite = scheme.hop_counts[np.isfinite(scheme.hop_counts)]
+            out[n] = (scheme.coverage, float(finite.mean()))
+        return out
+
+    results = once(sweep)
+    report(
+        "Scheme L: access hops vs n (L = 4)",
+        "\n".join(
+            f"n={n}: coverage {cov:.1%}, mean hops {hops:.2f}"
+            for n, (cov, hops) in results.items()
+        ),
+    )
+    hops = [h for _, h in results.values()]
+    assert max(hops) <= 4.0
+    # no growth with n: the spread across a 16x n range stays tiny
+    assert max(hops) - min(hops) < 0.5

@@ -1,0 +1,29 @@
+"""Delay-capacity tradeoff benchmark (extension).
+
+The paper's capacity results say nothing about delay, but its cited
+companions do: scheme A's squarelet relaying pays ``Theta(f)`` contact
+waits, the two-hop relay waits for the relay to physically meet the
+destination, and scheme B crosses the network instantly on wires (the
+constant-delay claim of reference [9]).  This benchmark measures
+delivered-packet delay for all three disciplines on the same realisation.
+"""
+
+from repro.experiments.delay import compare_delays
+
+from conftest import report
+
+
+def test_delay_comparison(once):
+    """Scheme B's wired shortcut beats the mobility disciplines on delay."""
+    comparison = once(compare_delays, 200, 3, slots=3500, arrival_prob=0.003)
+    report(
+        "Delay comparison at light load (n = 200)",
+        "\n".join(comparison.lines()),
+    )
+    for scheme in ("scheme-A", "two-hop", "scheme-B"):
+        assert comparison.delivered[scheme] > 20, scheme
+    # two-hop uses at most 2 wireless hops; scheme A uses many
+    assert comparison.mean_hops["two-hop"] <= 2.0
+    assert comparison.mean_hops["scheme-A"] > comparison.mean_hops["two-hop"]
+    # the wired backbone crossing beats carrying packets physically
+    assert comparison.mean_delay["scheme-B"] < comparison.mean_delay["two-hop"]

@@ -1,0 +1,90 @@
+"""Figure 1 reproduction: uniformly vs non-uniformly dense networks.
+
+Regenerates the paper's side-by-side example quantitatively: both panels are
+realised at the same ``n`` and summarised by their local-density statistics
+(Definition 7).  The uniformly dense panel must have a bounded max/min
+density ratio and no empty area; the clustered panel must leave most of the
+torus empty -- exactly the contrast Figure 1 illustrates.  A coarse ASCII
+density map is printed for visual comparison.
+"""
+
+import numpy as np
+
+from repro.experiments.figure1 import CLUSTERED_PARAMS, UNIFORM_PARAMS, make_panel
+
+from conftest import report
+
+N = 2000
+
+
+def _ascii_map(field, width=32):
+    """Render the density grid as characters (space = empty, # = dense)."""
+    values = field.values
+    peak = values.max() or 1.0
+    ramp = " .:-=+*#%@"
+    rows = []
+    for row in values[:: max(1, values.shape[0] // 16)]:
+        chars = [
+            ramp[min(len(ramp) - 1, int(level / peak * (len(ramp) - 1)))]
+            for level in row[:: max(1, values.shape[1] // width)]
+        ]
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def test_figure1_panels(once):
+    """Both panels of Figure 1 with their density summaries."""
+
+    def build():
+        rng = np.random.default_rng(42)
+        left = make_panel(
+            CLUSTERED_PARAMS, N, rng, "non-uniformly dense", grid_side=32
+        )
+        right = make_panel(UNIFORM_PARAMS, N, rng, "uniformly dense", grid_side=32)
+        return left, right
+
+    left, right = once(build)
+    body = "\n".join(
+        [
+            left.summary(),
+            _ascii_map(left.field),
+            "",
+            right.summary(),
+            _ascii_map(right.field),
+        ]
+    )
+    report("Figure 1: density fields", body)
+    # right panel: bounded density (uniformly dense, Definition 8)
+    assert right.field.min > 0
+    assert right.field.uniformity_ratio < 5.0
+    assert right.field.empty_fraction == 0.0
+    # left panel: clustering leaves most of the torus empty
+    assert left.field.empty_fraction > 0.5
+    assert left.field.uniformity_ratio > 100 or left.field.min == 0.0
+
+
+def test_figure1_mobility_bridges_clusters(once):
+    """The same home-point layout becomes uniformly dense when mobility is
+    strong enough (Theorem 1's criterion in action)."""
+    from repro.core.density import density_field
+    from repro.mobility.clustered import place_home_points
+    from repro.mobility.shapes import UniformDiskShape
+
+    def build():
+        rng = np.random.default_rng(7)
+        model = place_home_points(rng, n=N, m=25, radius=0.05)
+        shape = UniformDiskShape(1.0)
+        weak_mobility = density_field(model.points, shape, f=20.0, n=N, grid_side=24)
+        strong_mobility = density_field(model.points, shape, f=1.5, n=N, grid_side=24)
+        return weak_mobility, strong_mobility
+
+    weak, strong = once(build)
+    report(
+        "Figure 1 (mechanism): same home-points, different mobility",
+        f"f=20 (weak): max/min={weak.uniformity_ratio:.2f} "
+        f"empty={weak.empty_fraction:.0%}\n"
+        f"f=1.5 (strong): max/min={strong.uniformity_ratio:.2f} "
+        f"empty={strong.empty_fraction:.0%}",
+    )
+    assert strong.uniformity_ratio < weak.uniformity_ratio
+    assert strong.empty_fraction == 0.0

@@ -1,0 +1,56 @@
+"""Figure 2 reproduction: a concrete routing-scheme-B example.
+
+Builds a strong-mobility hybrid network, traces one session through the
+three phases of Definition 12 (MS -> source-squarelet BSs -> backbone ->
+destination-squarelet BSs -> MS) and prints the annotated route with the
+measured per-phase rates, mirroring the paper's illustration.
+"""
+
+import numpy as np
+
+from repro.experiments.figure2 import FIGURE2_PARAMS, trace_scheme_b
+from repro.simulation.network import HybridNetwork
+from repro.simulation.traffic import permutation_traffic
+
+from conftest import report
+
+
+def test_figure2_trace(once):
+    """One annotated scheme-B session."""
+    trace = once(trace_scheme_b, 600, np.random.default_rng(5))
+    report("Figure 2: routing scheme B example", "\n".join(trace.lines()))
+    session = trace.session
+    assert session["phase1_bs"], "source squarelet must contain BSs"
+    assert session["phase3_bs"], "destination squarelet must contain BSs"
+    if session["source_zone"] != session["destination_zone"]:
+        assert session["backbone_wires"] == len(session["phase1_bs"]) * len(
+            session["phase3_bs"]
+        )
+    assert trace.per_node_rate > 0
+
+
+def test_figure2_every_session_routable(once):
+    """All n sessions of the permutation traffic can be traced through
+    scheme B's three phases (no zone is left without base stations)."""
+
+    def build():
+        rng = np.random.default_rng(9)
+        net = HybridNetwork.build(FIGURE2_PARAMS, 600, rng)
+        scheme = net.scheme_b()
+        traffic = permutation_traffic(rng, 600)
+        routable = 0
+        wires = []
+        for source, dest in traffic.pairs():
+            route = scheme.session_route(source, dest)
+            if route["phase1_bs"] and route["phase3_bs"]:
+                routable += 1
+            wires.append(route["backbone_wires"])
+        return routable, float(np.mean(wires))
+
+    routable, mean_wires = once(build)
+    report(
+        "Figure 2: session coverage",
+        f"routable sessions: {routable}/600\n"
+        f"mean backbone wires per inter-zone session: {mean_wires:.0f}",
+    )
+    assert routable == 600

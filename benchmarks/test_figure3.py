@@ -1,0 +1,53 @@
+"""Figure 3 reproduction: the capacity phase diagrams over (alpha, K).
+
+Regenerates both panels exactly from the order calculus (left: access
+limited, ``phi >= 0``; right: backbone limited, ``phi = -1/4``), prints the
+region maps with the analytic boundary line, and spot-checks the dominance
+prediction by simulating scheme A vs scheme B at selected grid points.
+"""
+
+from fractions import Fraction
+
+from repro.core.phase_diagram import capacity_exponent, mobility_boundary
+from repro.experiments.figure3 import compute_figure3, simulated_spot_checks
+
+from conftest import report
+
+
+def test_figure3_panels(once):
+    """Exact phase diagram panels with boundary verification."""
+    figure = once(compute_figure3, grid_points=21)
+    report("Figure 3: phase diagrams", "\n".join(figure.lines()))
+    # left panel boundary: K = 1 - alpha, endpoints (0,1) and (1/2,1/2)
+    left_boundary = figure.left.boundary_curve()
+    assert left_boundary[0] == 1
+    assert left_boundary[-1] == Fraction(1, 2)
+    # right panel (phi = -1/4): K = 5/4 - alpha, crossing K=1 at alpha=1/4
+    # and reaching 3/4 at alpha = 1/2 (the paper's printed intercepts)
+    assert mobility_boundary(Fraction(1, 4), figure.right.phi) == 1
+    assert mobility_boundary(Fraction(1, 2), figure.right.phi) == Fraction(3, 4)
+    # capacity annotations from the figure: n^{-1/2} at the (1/2, 1/2)
+    # corner of the left panel
+    assert capacity_exponent("1/2", "1/2", 0) == Fraction(-1, 2)
+
+
+def test_figure3_simulated_spot_checks(once):
+    """Measured scheme dominance matches the analytic regions."""
+    points = [
+        ("1/4", "1/4", "0"),     # deep in the mobility region
+        ("1/8", "1/2", "0"),     # mobility region, low-alpha side
+        ("1/4", "15/16", "0"),   # infrastructure region (access-limited)
+    ]
+    checks = once(simulated_spot_checks, points, n=600, seed=3)
+    lines = [
+        f"alpha={float(c.alpha):.3f} K={float(c.bs_exponent):.3f} "
+        f"phi={float(c.phi):+.2f}  predicted={c.predicted_region:14s} "
+        f"measured={c.measured_region:14s} "
+        f"(A={c.scheme_a_rate:.2e}, B={c.scheme_b_rate:.2e})"
+        for c in checks
+    ]
+    report("Figure 3: simulated spot checks", "\n".join(lines))
+    for check in checks:
+        assert check.agrees, (
+            f"dominance mismatch at alpha={check.alpha}, K={check.bs_exponent}"
+        )

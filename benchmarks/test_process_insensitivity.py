@@ -1,0 +1,106 @@
+"""Process-insensitivity benchmark (Definition 2's "arbitrary pattern").
+
+The paper's capacity results depend on the mobility process only through
+its stationary spatial distribution: any stationary ergodic motion with law
+``phi_i(X) ∝ s(f ||X - X_i^h||)`` yields the same link capacities
+(Lemma 2).  This benchmark drives policy ``S*`` with four processes sharing
+the same stationary law but radically different sample paths -- i.i.d.
+redraws, a Metropolis crawl, waypoint trips -- plus the classical uniform
+special cases (Brownian motion, hybrid random walk vs full-roam i.i.d.),
+and compares the long-run scheduling statistics.
+"""
+
+import numpy as np
+
+from repro.mobility.processes import (
+    BrownianMotion,
+    HybridRandomWalk,
+    IIDAroundHome,
+    MetropolisWalkAroundHome,
+    WaypointAroundHome,
+)
+from repro.mobility.shapes import UniformDiskShape
+from repro.utils.tables import render_table
+from repro.wireless.link_capacity import measure_activity_fraction
+from repro.wireless.scheduler import PolicySStar
+
+from conftest import report
+
+SHAPE = UniformDiskShape(1.0)
+N = 300
+SLOTS = 300
+
+
+def _activity(process) -> float:
+    scheduler = PolicySStar(node_count=N, c_t=0.4, delta=0.5)
+    return float(
+        measure_activity_fraction(process, scheduler, slots=SLOTS).mean()
+    )
+
+
+def test_home_point_processes_agree(once):
+    """Same home-points + same stationary law => same S* activity, for
+    i.i.d. vs Metropolis vs waypoint dynamics."""
+
+    def sweep():
+        homes = np.random.default_rng(0).random((N, 2))
+        scale = 0.25
+        results = {}
+        results["iid"] = _activity(
+            IIDAroundHome(homes, SHAPE, scale, np.random.default_rng(1))
+        )
+        results["metropolis"] = _activity(
+            MetropolisWalkAroundHome(
+                homes, SHAPE, scale, np.random.default_rng(2), step_fraction=0.3
+            )
+        )
+        results["waypoint"] = _activity(
+            WaypointAroundHome(homes, SHAPE, scale, np.random.default_rng(3))
+        )
+        return results
+
+    results = once(sweep)
+    report(
+        "Process insensitivity: mean S* activity fraction (same phi_i)",
+        render_table(
+            ["process", "activity"],
+            [[k, f"{v:.4f}"] for k, v in results.items()],
+        ),
+    )
+    values = list(results.values())
+    assert min(values) > 0.01
+    assert max(values) / min(values) < 1.5
+
+
+def test_classical_uniform_processes_agree(once):
+    """Brownian motion and the hybrid random walk (both stationary-uniform)
+    match full-roam i.i.d. mobility -- Remark 4's special-case claim."""
+
+    def sweep():
+        start = np.random.default_rng(10).random((N, 2))
+        results = {}
+        results["iid-uniform"] = _activity(
+            IIDAroundHome(
+                start, UniformDiskShape(1.0), 1.0, np.random.default_rng(11)
+            )
+        )
+        brownian = BrownianMotion(start, sigma=0.1, rng=np.random.default_rng(12))
+        for _ in range(30):  # mix to stationarity first
+            brownian.step()
+        results["brownian"] = _activity(brownian)
+        results["hybrid-walk"] = _activity(
+            HybridRandomWalk(start, 5, np.random.default_rng(13))
+        )
+        return results
+
+    results = once(sweep)
+    report(
+        "Process insensitivity: classical uniform-stationary processes",
+        render_table(
+            ["process", "activity"],
+            [[k, f"{v:.4f}"] for k, v in results.items()],
+        ),
+    )
+    values = list(results.values())
+    assert min(values) > 0.01
+    assert max(values) / min(values) < 1.5

@@ -1,0 +1,127 @@
+"""Corollary 2 tightness: achieved rates vs the Lemma 6/8 upper bounds.
+
+The converse machinery (cut bounds + access cap) is valid for *every*
+routing scheme; Corollary 2 states the paper's lower bounds match it in
+order.  This benchmark evaluates both sides on the same realisations across
+an n sweep: achieved <= bound everywhere, and the gap stays a bounded
+constant factor (no widening with n), which is exactly order-tightness.
+"""
+
+import numpy as np
+
+from repro.core.bounds import combined_upper_bound
+from repro.core.regimes import NetworkParameters
+from repro.simulation.network import HybridNetwork
+from repro.utils.tables import render_table
+
+from conftest import report
+
+GRID = [500, 1200, 3000]
+
+
+def _measure(params, scheme_name, seed=17):
+    rows = []
+    for n in GRID:
+        rng = np.random.default_rng(seed + n)
+        net = HybridNetwork.build(params, n, rng)
+        traffic = net.sample_traffic()
+        bounds = combined_upper_bound(
+            net.home_model.points, traffic, net.shape, net.realized.f,
+            bs_positions=net.bs_positions,
+            wire_capacity=net.realized.c or 0.0,
+            c_t=net.c_t,
+        )
+        if scheme_name == "A":
+            achieved = net.scheme_a().sustainable_rate(traffic).per_node_rate
+        else:
+            result = net.scheme_b().sustainable_rate(traffic)
+            achieved = result.details.get("generic_rate", result.per_node_rate)
+        rows.append((n, achieved, bounds["bound"]))
+    return rows
+
+
+def test_corollary2_mobility_dominant(once):
+    """Scheme A vs the cut bound in the BS-free strong regime."""
+    params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+    rows = once(_measure, params, "A")
+    report(
+        "Corollary 2 tightness: scheme A vs Theorem 4 bound",
+        render_table(
+            ["n", "achieved", "upper bound", "gap factor"],
+            [
+                [n, f"{a:.3e}", f"{b:.3e}", f"{b / a:.1f}"]
+                for n, a, b in rows
+            ],
+        ),
+    )
+    gaps = []
+    for n, achieved, bound in rows:
+        assert 0 < achieved <= bound
+        gaps.append(bound / achieved)
+    # order-tightness: the gap factor does not blow up across a 6x n span
+    assert max(gaps) / min(gaps) < 4.0
+
+
+def test_maxflow_bound_sandwich(once):
+    """The per-session max-flow certificate (node-split link-capacity
+    graph) sandwiches the achieved rate from above alongside the strip-cut
+    bound -- three independent views of the same capacity."""
+    from repro.simulation.maxflow import LinkCapacityGraph, uniform_rate_bound
+
+    params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+
+    def measure():
+        rows = []
+        for n in (250, 500):
+            rng = np.random.default_rng(23 + n)
+            net = HybridNetwork.build(params, n, rng)
+            traffic = net.sample_traffic()
+            achieved = net.scheme_a().sustainable_rate(traffic).per_node_rate
+            graph = LinkCapacityGraph(
+                net.home_model.points, net.shape, net.realized.f, c_t=net.c_t
+            )
+            flow_bound = uniform_rate_bound(graph, traffic, sample=6, rng=rng)
+            cut_bound = combined_upper_bound(
+                net.home_model.points, traffic, net.shape, net.realized.f,
+                c_t=net.c_t,
+            )["bound"]
+            rows.append((n, achieved, flow_bound, cut_bound))
+        return rows
+
+    rows = once(measure)
+    report(
+        "Bound hierarchy: achieved vs max-flow vs strip cut (scheme A)",
+        render_table(
+            ["n", "achieved", "max-flow bound", "strip-cut bound"],
+            [
+                [n, f"{a:.3e}", f"{f:.3e}", f"{c:.3e}"]
+                for n, a, f, c in rows
+            ],
+        ),
+    )
+    for n, achieved, flow_bound, cut_bound in rows:
+        assert 0 < achieved <= flow_bound
+        assert achieved <= cut_bound
+
+
+def test_corollary2_infrastructure_dominant(once):
+    """Scheme B (generic rate) vs cut + access bounds."""
+    params = NetworkParameters(
+        alpha="1/4", cluster_exponent=1, bs_exponent="7/8", backbone_exponent=1
+    )
+    rows = once(_measure, params, "B")
+    report(
+        "Corollary 2 tightness: scheme B vs Theorem 4 bound",
+        render_table(
+            ["n", "achieved (generic)", "upper bound", "gap factor"],
+            [
+                [n, f"{a:.3e}", f"{b:.3e}", f"{b / a:.1f}"]
+                for n, a, b in rows
+            ],
+        ),
+    )
+    gaps = []
+    for n, achieved, bound in rows:
+        assert 0 < achieved <= bound
+        gaps.append(bound / achieved)
+    assert max(gaps) / min(gaps) < 4.0

@@ -1,0 +1,99 @@
+"""Campus deployment study: how many access points does a campus need?
+
+Scenario (the kind of workload the paper's introduction motivates): students
+move around their dorms/departments (clustered home-points, restricted
+mobility) on a large campus.  The university deploys WiFi access points
+wired into the campus network.  Questions this script answers with the
+library:
+
+1. What mobility regime is the campus in, and what does that imply?
+2. How does per-student throughput grow with the AP budget k?
+3. Does careful AP placement matter, or is uniform deployment fine
+   (Theorem 6)?
+
+Run:  python examples/campus_network.py
+"""
+
+import numpy as np
+
+from repro import HybridNetwork, NetworkParameters, analyze
+from repro.utils.tables import render_table
+
+N_STUDENTS = 2000
+SEED = 7
+
+
+def campus_family(bs_exponent) -> NetworkParameters:
+    """Clustered campus: m = n^{1/4} buildings of radius ~ n^{-1/4} on an
+    extended campus (f = n^{3/8}); students rarely leave their building's
+    neighbourhood -> weak mobility."""
+    return NetworkParameters(
+        alpha="3/8",
+        cluster_exponent="1/4",
+        cluster_radius_exponent="1/4",
+        bs_exponent=bs_exponent,
+        backbone_exponent=1,
+    )
+
+
+def main() -> None:
+    print("=== 1. Regime diagnosis ===")
+    no_bs = NetworkParameters(
+        alpha="3/8", cluster_exponent="1/4", cluster_radius_exponent="1/4"
+    )
+    print("Without APs:", analyze(no_bs).summary())
+    with_bs = campus_family("3/4")
+    print("With APs   :", analyze(with_bs).summary())
+    print(
+        "-> Students' mobility cannot bridge buildings (weak regime): "
+        "without infrastructure the campus pays the clustered-connectivity "
+        "penalty; APs remove it entirely.\n"
+    )
+
+    print("=== 2. Throughput vs AP budget ===")
+    rows = []
+    for exponent in ("1/2", "5/8", "3/4", "7/8"):
+        params = campus_family(exponent)
+        rng = np.random.default_rng(SEED)
+        net = HybridNetwork.build(params, N_STUDENTS, rng)
+        rate = net.scheme_b().sustainable_rate(net.sample_traffic())
+        rows.append(
+            [
+                f"n^{exponent}",
+                net.k,
+                f"{rate.per_node_rate:.3e}",
+                f"{rate.details.get('generic_rate', 0.0):.3e}",
+                rate.bottleneck,
+                str(analyze(params).capacity),
+            ]
+        )
+    print(
+        render_table(
+            ["AP budget", "k", "min-MS rate", "generic rate", "bottleneck", "theory"],
+            rows,
+        )
+    )
+    print(
+        "-> Per-student throughput grows linearly with k (the k/n access "
+        "term).  A zero min-MS rate flags students out of AP reach at this "
+        "finite n -- the deployment signal to add coverage, while the "
+        "generic rate tracks the asymptotic k/n law.\n"
+    )
+
+    print("=== 3. Placement sensitivity (Theorem 6) ===")
+    rows = []
+    for placement in ("matched", "uniform", "regular"):
+        params = campus_family("3/4")
+        rng = np.random.default_rng(SEED)
+        net = HybridNetwork.build(params, N_STUDENTS, rng, placement=placement)
+        rate = net.scheme_b().sustainable_rate(net.sample_traffic())
+        rows.append([placement, f"{rate.details.get('generic_rate', 0.0):.3e}"])
+    print(render_table(["placement", "generic per-student rate"], rows))
+    print(
+        "-> In the weak regime, APs must be where the students are: matched "
+        "placement wins, unlike the uniformly dense case of Theorem 6."
+    )
+
+
+if __name__ == "__main__":
+    main()

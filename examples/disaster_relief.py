@@ -1,0 +1,88 @@
+"""Disaster-relief provisioning: how much backhaul do portable cells need?
+
+Scenario: after a disaster, responders operate around incident sites
+(clustered home-points); portable base stations are air-dropped and linked
+by satellite backhaul, whose bandwidth c(n) is the scarce, expensive
+resource.  The paper's analysis answers the planning question directly:
+writing ``mu_c = k c`` for the per-BS aggregate backhaul, capacity is
+``(k/n) min(mu_c, 1)`` -- so ``mu_c = Theta(1)`` is the provisioning sweet
+spot, and every dollar beyond it is wasted.
+
+This script sweeps the backhaul exponent phi and shows the measured
+saturation, then sanity-checks the planning rule at a fixed deployment.
+
+Run:  python examples/disaster_relief.py
+"""
+
+import numpy as np
+
+from repro import HybridNetwork, NetworkParameters, analyze
+from repro.mobility.shapes import UniformDiskShape
+from repro.utils.tables import render_table
+
+N_RESPONDERS = 1500
+SEED = 11
+
+
+def family(phi) -> NetworkParameters:
+    """Responders around incident sites; moderate mobility; k = n^{7/8}
+    portable cells with backhaul mu_c = n^phi per cell."""
+    return NetworkParameters(
+        alpha="1/4",
+        cluster_exponent=1,
+        bs_exponent="7/8",
+        backbone_exponent=phi,
+    )
+
+
+def main() -> None:
+    print("=== Backhaul provisioning sweep ===")
+    rows = []
+    shape = UniformDiskShape(2.0)
+    for phi in ("-1/2", "-1/4", "0", "1/4", "1"):
+        params = family(phi)
+        rng = np.random.default_rng(SEED)
+        net = HybridNetwork.build(params, N_RESPONDERS, rng, shape=shape)
+        result = net.scheme_b().sustainable_rate(net.sample_traffic())
+        theory = analyze(params)
+        rows.append(
+            [
+                phi,
+                f"{net.realized.c:.2e}",
+                f"{result.per_node_rate:.3e}",
+                result.bottleneck,
+                str(theory.capacity),
+            ]
+        )
+    print(render_table(
+        ["phi", "per-wire c", "measured rate", "bottleneck", "theory"], rows
+    ))
+    print(
+        "\n-> Below phi = 0 the satellite links choke Phase II and capacity "
+        "falls linearly in the exponent; above phi = 0 the wireless access "
+        "phase is the wall and extra backhaul buys nothing.  Provision "
+        "mu_c = Theta(1) per portable cell.\n"
+    )
+
+    print("=== Mobility still matters: keep the ad hoc path alive ===")
+    params = family("0")
+    rng = np.random.default_rng(SEED)
+    net = HybridNetwork.build(params, N_RESPONDERS, rng, shape=shape)
+    traffic = net.sample_traffic()
+    combined = net.sustainable_rate(traffic)
+    print(
+        f"scheme A (responder relaying) : "
+        f"{combined.details['scheme_a_rate']:.3e}\n"
+        f"scheme B (portable cells)     : "
+        f"{combined.details['scheme_b_rate']:.3e}\n"
+        f"operating both (Theorem 5)    : {combined.per_node_rate:.3e}"
+    )
+    print(
+        "-> In the strong-mobility regime the two paths add; shutting down "
+        "ad hoc relaying to 'protect' the cells would forfeit the larger "
+        "term at this scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

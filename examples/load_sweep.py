@@ -1,0 +1,89 @@
+"""Operational load sweep: drive the packet simulator across offered loads.
+
+The flow-level analyses answer "what rate is sustainable"; this example
+answers the operator's follow-up: *what actually happens* as the offered
+load approaches and crosses that rate.  A scheme-A network is driven at
+increasing per-node arrival rates; delivered throughput, delivery ratio,
+queue backlog and delay are reported -- the classic saturation curve, with
+the knee at the (guard-adjusted) flow-level capacity.
+
+Run:  python examples/load_sweep.py          (~2 minutes)
+"""
+
+import math
+
+import numpy as np
+
+from repro.mobility.processes import IIDAroundHome
+from repro.mobility.shapes import UniformDiskShape
+from repro.routing.scheme_a import SchemeA
+from repro.simulation.engine import SlottedSimulator
+from repro.simulation.routers import SchemeARouter
+from repro.simulation.traffic import permutation_traffic
+from repro.utils.tables import render_table
+from repro.wireless.scheduler import PolicySStar
+
+N = 250
+F = 2.5
+C_T, DELTA = 0.4, 0.5
+SLOTS = 4000
+SHAPE = UniformDiskShape(1.0)
+
+
+def guard_constant() -> float:
+    """S* guard-emptiness constant relating flow-level and packet-level."""
+    return math.exp(-2.0 * math.pi * ((1.0 + DELTA) * C_T) ** 2)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    homes = rng.random((N, 2))
+    scheme = SchemeA(homes, SHAPE, F, c_t=C_T)
+    traffic = permutation_traffic(rng, N)
+    flow_rate = scheme.sustainable_rate(traffic).per_node_rate
+    print(f"flow-level sustainable rate : {flow_rate:.3e}")
+    print(f"S* guard constant           : {guard_constant():.3f} "
+          f"(per-link latency factor)\n")
+
+    rows = []
+    for multiple in (0.05, 0.2, 0.6, 1.5, 6.0):
+        offered = min(1.0, multiple * flow_rate)
+        sim_rng = np.random.default_rng(100)
+        process = IIDAroundHome(homes, SHAPE, 1.0 / F, sim_rng)
+        scheduler = PolicySStar(node_count=N, c_t=C_T, delta=DELTA)
+        router = SchemeARouter(
+            scheme.tessellation, scheme.tessellation.cell_of(homes)
+        )
+        sim = SlottedSimulator(
+            process, scheduler, router, traffic, offered, sim_rng
+        )
+        metrics = sim.run(SLOTS)
+        rows.append(
+            [
+                f"{multiple:.2f}x",
+                f"{offered:.2e}",
+                f"{metrics.per_node_throughput:.2e}",
+                f"{metrics.delivery_ratio:.0%}",
+                metrics.in_flight,
+                f"{metrics.mean_delay:.0f}",
+            ]
+        )
+    print(
+        render_table(
+            ["load (x flow rate)", "offered", "delivered", "ratio", "backlog",
+             "delay (slots)"],
+            rows,
+        )
+    )
+    print(
+        "\n-> Delivered throughput tracks the offered load up to a constant "
+        "fraction (~0.6x here) of the flow-level rate, then saturates while "
+        "queues and delay explode: the flow analysis is a genuine capacity "
+        "up to its Theta(1) constant.  Delays are long at every load -- "
+        "each hop waits for a squarelet contact, the price of the "
+        "mobility-routing scheme."
+    )
+
+
+if __name__ == "__main__":
+    main()

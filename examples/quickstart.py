@@ -1,0 +1,49 @@
+"""Quickstart: classify a network family, get its capacity, simulate it.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import HybridNetwork, NetworkParameters, analyze
+
+def main() -> None:
+    # A hybrid network family: area grows as n^{2*1/4}, uniform home-points
+    # (m = n), k = n^{7/8} base stations, constant aggregate backbone
+    # bandwidth per BS (phi = 1 >= 0: access-limited).
+    params = NetworkParameters(
+        alpha="1/4",
+        cluster_exponent=1,
+        bs_exponent="7/8",
+        backbone_exponent=1,
+    )
+
+    # --- closed-form layer -------------------------------------------------
+    result = analyze(params)
+    print("Family          :", params.describe())
+    print("Mobility regime :", result.regime.value)
+    print("Per-node capacity:", result.capacity)
+    print("  mobility term  :", result.mobility_term)
+    print("  infra term     :", result.infrastructure_term)
+    print("Optimal R_T     :", result.optimal_range)
+    print("Optimal scheme  :", result.scheme.value)
+    print("Bottleneck      :", result.bottleneck.value)
+
+    # --- simulation layer --------------------------------------------------
+    rng = np.random.default_rng(0)
+    net = HybridNetwork.build(params, n=800, rng=rng)
+    print(f"\nRealised instance: n={net.n} MSs, k={net.k} BSs, "
+          f"f={net.realized.f:.2f}, c={net.realized.c:.3f}")
+
+    traffic = net.sample_traffic()
+    flow = net.sustainable_rate(traffic)
+    print(f"Flow-level sustainable rate: {flow.per_node_rate:.4e} "
+          f"(bottleneck: {flow.bottleneck})")
+    print(f"  scheme A contribution: {flow.details['scheme_a_rate']:.4e}")
+    print(f"  scheme B contribution: {flow.details['scheme_b_rate']:.4e}")
+    print(f"Theory at this n (up to constants): "
+          f"{result.capacity.evaluate(net.n):.4e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Reproduction of *Capacity Scaling in Mobile Wireless Ad Hoc Network with
+Infrastructure Support* (Huang, Wang & Zhang, ICDCS 2010).
+
+The package has two layers:
+
+- an **exact analytical layer** (:mod:`repro.core`) that evaluates the
+  paper's closed-form scaling results -- mobility-regime classification,
+  per-node capacity, optimal transmission range and communication scheme --
+  via an exact :class:`~repro.core.order.Order` calculus over
+  ``Theta(n^a log^b n)``;
+- a **simulation layer** (geometry, mobility, wireless, infrastructure,
+  routing, simulation) that realises finite-``n`` networks and measures the
+  sustainable throughput of the paper's communication schemes, so every
+  claim can be verified empirically by log-log slope fitting.
+
+Quickstart::
+
+    import numpy as np
+    from repro import NetworkParameters, HybridNetwork, analyze
+
+    params = NetworkParameters(alpha="1/4", cluster_exponent=1,
+                               bs_exponent="1/2", backbone_exponent=1)
+    print(analyze(params).summary())          # closed-form Table-I row
+    net = HybridNetwork.build(params, n=400, rng=np.random.default_rng(0))
+    print(net.sustainable_rate())             # measured flow-level rate
+"""
+
+from .core.capacity import (
+    Bottleneck,
+    CapacityResult,
+    Scheme,
+    analyze,
+    capacity_lower_bound,
+    capacity_upper_bound,
+    infrastructure_capacity,
+    mobility_capacity,
+    no_infrastructure_capacity,
+    optimal_backbone_exponent,
+    optimal_scheme,
+    optimal_transmission_range,
+    per_node_capacity,
+)
+from .core.bounds import access_upper_bound, combined_upper_bound, cut_upper_bound
+from .core.density import DensityField, density_field, local_density
+from .core.order import Order, order_max, order_min
+from .core.regimes import InvalidParameters, MobilityRegime, NetworkParameters
+from .infrastructure.backbone import Backbone, BackboneTopology
+from .mobility.clustered import ClusteredHomePoints, place_home_points, zipf_weights
+from .mobility.shapes import (
+    ConeShape,
+    MobilityShape,
+    QuadraticDecayShape,
+    TruncatedGaussianShape,
+    UniformDiskShape,
+)
+from .routing.base import FlowResult
+from .routing.scheme_a import SchemeA
+from .routing.scheme_b import SchemeB
+from .routing.scheme_c import SchemeC
+from .routing.scheme_l import SchemeL
+from .routing.static_multihop import StaticMultihop
+from .simulation.network import HybridNetwork
+from .simulation.traffic import PermutationTraffic, permutation_traffic
+from .wireless.physical_model import GreedySINRScheduler, PhysicalModel
+from .wireless.protocol_model import ProtocolModel
+from .wireless.scheduler import GreedyMatchingScheduler, PolicySStar, VariableRangeScheduler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # analytical layer
+    "Order",
+    "order_min",
+    "order_max",
+    "NetworkParameters",
+    "MobilityRegime",
+    "InvalidParameters",
+    "analyze",
+    "CapacityResult",
+    "Scheme",
+    "Bottleneck",
+    "per_node_capacity",
+    "mobility_capacity",
+    "infrastructure_capacity",
+    "no_infrastructure_capacity",
+    "capacity_upper_bound",
+    "capacity_lower_bound",
+    "optimal_transmission_range",
+    "optimal_scheme",
+    "optimal_backbone_exponent",
+    "local_density",
+    "density_field",
+    "DensityField",
+    "cut_upper_bound",
+    "access_upper_bound",
+    "combined_upper_bound",
+    # substrates
+    "MobilityShape",
+    "UniformDiskShape",
+    "ConeShape",
+    "TruncatedGaussianShape",
+    "QuadraticDecayShape",
+    "ClusteredHomePoints",
+    "place_home_points",
+    "zipf_weights",
+    "ProtocolModel",
+    "PhysicalModel",
+    "GreedySINRScheduler",
+    "PolicySStar",
+    "VariableRangeScheduler",
+    "GreedyMatchingScheduler",
+    "Backbone",
+    "BackboneTopology",
+    # schemes & simulation
+    "FlowResult",
+    "SchemeA",
+    "SchemeB",
+    "SchemeC",
+    "SchemeL",
+    "StaticMultihop",
+    "HybridNetwork",
+    "PermutationTraffic",
+    "permutation_traffic",
+]

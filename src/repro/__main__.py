@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze``    closed-form capacity of one parameter family
+``table1``     the paper's Table I for the built-in representative rows
+``phase``      a Figure-3 phase diagram panel for a given phi
+``simulate``   realise one finite-n network and measure its flow-level rate
+``reproduce``  regenerate the paper's artifacts into a results directory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.capacity import analyze
+from .core.phase_diagram import compute_phase_diagram
+from .core.regimes import InvalidParameters, NetworkParameters
+from .experiments.table1 import closed_form_table
+from .simulation.network import HybridNetwork
+
+__all__ = ["main"]
+
+
+def _add_family_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--alpha", default="1/4",
+        help="network extension exponent (f = n^alpha), e.g. 1/4",
+    )
+    parser.add_argument(
+        "--clusters", default="1", metavar="M",
+        help="cluster exponent (m = n^M); 1 = uniform home-points",
+    )
+    parser.add_argument(
+        "--radius", default="0", metavar="R",
+        help="cluster radius exponent (r = n^-R)",
+    )
+    parser.add_argument(
+        "--bs", default=None, metavar="K",
+        help="base-station exponent (k = n^K); omit for no infrastructure",
+    )
+    parser.add_argument(
+        "--phi", default="1",
+        help="backbone exponent (mu_c = k c = n^phi)",
+    )
+    parser.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the paper's standing-assumption checks",
+    )
+
+
+def _family(args) -> NetworkParameters:
+    return NetworkParameters(
+        alpha=args.alpha,
+        cluster_exponent=args.clusters,
+        cluster_radius_exponent=args.radius,
+        bs_exponent=args.bs,
+        backbone_exponent=args.phi,
+        validate=not args.no_validate,
+    )
+
+
+def _cmd_analyze(args) -> int:
+    params = _family(args)
+    result = analyze(params)
+    print(params.describe())
+    print(result.summary())
+    print(f"  mobility term       : {result.mobility_term}")
+    if params.has_infrastructure:
+        print(f"  infrastructure term : {result.infrastructure_term}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    print(closed_form_table())
+    return 0
+
+
+def _cmd_phase(args) -> int:
+    diagram = compute_phase_diagram(args.phi, grid_points=args.grid)
+    print(f"phi = {args.phi} (M = mobility dominant, I = infrastructure dominant)")
+    print(diagram.ascii_render())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    params = _family(args)
+    rng = np.random.default_rng(args.seed)
+    net = HybridNetwork.build(params, args.n, rng)
+    print(params.describe())
+    print(f"realised: n={net.n} k={net.k} f={net.realized.f:.3f}")
+    result = net.sustainable_rate()
+    print(f"flow-level rate: {result.per_node_rate:.4e} "
+          f"(bottleneck: {result.bottleneck})")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    """Regenerate Table I and the figure summaries into ``--out``.
+
+    ``--quick`` uses small grids (a couple of minutes); the full benchmark
+    suite (``pytest benchmarks/ --benchmark-only``) remains the reference.
+    """
+    import pathlib
+
+    from .experiments.figure1 import CLUSTERED_PARAMS, UNIFORM_PARAMS, make_panel
+    from .experiments.figure2 import trace_scheme_b
+    from .experiments.figure3 import compute_figure3
+    from .experiments.table1 import TABLE1_ROWS, measure_row
+    from .utils.tables import render_table
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    if args.grid:
+        grid = [int(v) for v in args.grid.split(",")]
+    else:
+        grid = [400, 1000, 2500] if args.quick else [6400, 14000, 30000]
+    trials = 2 if args.quick or args.grid else 3
+
+    sections = ["# Reproduction artifacts\n"]
+    if args.quick or args.grid:
+        sections.append(
+            "> Quick mode: small n grids are smoke tests only -- the "
+            "strong-regime slopes carry large finite-size bias below "
+            "n ~ 5000 (see EXPERIMENTS.md); run the benchmark suite for "
+            "the reference numbers.\n"
+        )
+    sections.append("## Table I (closed form)\n")
+    sections.append(closed_form_table())
+
+    sections.append("\n## Table I (measured slopes)\n")
+    rows = []
+    for row in TABLE1_ROWS:
+        kwargs = {"mobility": "static"} if row.sweep_scheme == "C" else {}
+        result = measure_row(
+            row, grid, trials=trials, seed=7, build_kwargs=kwargs
+        )
+        measured = "fail" if result.fit is None else f"{result.fit.exponent:+.3f}"
+        rows.append([row.label, f"{result.theory_exponent:+.3f}", measured])
+        print(f"  measured: {row.label}")
+    sections.append(render_table(["row", "theory slope", "measured slope"], rows))
+
+    sections.append("\n## Figure 1 (density summaries)\n")
+    rng = np.random.default_rng(42)
+    n_fig = 800 if args.quick else 2000
+    left = make_panel(CLUSTERED_PARAMS, n_fig, rng, "non-uniformly dense")
+    right = make_panel(UNIFORM_PARAMS, n_fig, rng, "uniformly dense")
+    sections.append(left.summary())
+    sections.append(right.summary())
+
+    sections.append("\n## Figure 2 (scheme B trace)\n")
+    trace = trace_scheme_b(400 if args.quick else 600, np.random.default_rng(5))
+    sections.extend(trace.lines())
+
+    sections.append("\n## Figure 3 (phase diagrams)\n")
+    sections.extend(compute_figure3(grid_points=13).lines())
+
+    report_path = out / "reproduction.md"
+    report_path.write_text("\n".join(sections) + "\n")
+    print(f"wrote {report_path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Capacity scaling in hybrid mobile ad hoc networks "
+        "(Huang, Wang & Zhang, ICDCS 2010)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser("analyze", help="closed-form capacity of a family")
+    _add_family_arguments(cmd)
+    cmd.set_defaults(func=_cmd_analyze)
+
+    cmd = commands.add_parser("table1", help="render Table I")
+    cmd.set_defaults(func=_cmd_table1)
+
+    cmd = commands.add_parser("phase", help="Figure-3 phase diagram panel")
+    cmd.add_argument("--phi", default="0")
+    cmd.add_argument("--grid", type=int, default=13)
+    cmd.set_defaults(func=_cmd_phase)
+
+    cmd = commands.add_parser("simulate", help="measure one finite-n network")
+    _add_family_arguments(cmd)
+    cmd.add_argument("--n", type=int, default=500)
+    cmd.add_argument("--seed", type=int, default=0)
+    cmd.set_defaults(func=_cmd_simulate)
+
+    cmd = commands.add_parser(
+        "reproduce", help="regenerate the paper's artifacts into --out"
+    )
+    cmd.add_argument("--out", default="results")
+    cmd.add_argument(
+        "--quick", action="store_true",
+        help="small grids (~2 min) instead of the full sweep sizes",
+    )
+    cmd.add_argument(
+        "--grid", default=None,
+        help="comma-separated n values overriding the built-in grids",
+    )
+    cmd.set_defaults(func=_cmd_reproduce)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except InvalidParameters as error:
+        print(f"invalid parameters: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""Converse (upper-bound) machinery: Lemma 6, Lemma 7, Lemma 8, Theorem 4.
+
+The paper's upper bounds all instantiate one graph-cut inequality
+(Lemma 6): for any partition of the torus into an interior ``I`` and
+exterior ``E``,
+
+``lambda <= ( sum_{i in I, j in E} mu(i, j) ) / #{sessions crossing I -> E}``
+
+where ``mu`` is the link capacity under the optimal policy ``S*`` (wireless
+pairs, Corollary 1) or the wire bandwidth ``c(n)`` (BS pairs).  Evaluating
+the cut numerically on a realised network reproduces both terms of
+Theorem 4:
+
+- MS-MS contacts only bridge the cut within the mobility diameter
+  ``2D/f``, contributing ``Theta(n/f) * Theta(1/n)``-ish per session — the
+  ``Theta(1/f)`` mobility ceiling;
+- BS-BS wires contribute ``Theta(k^2 c)`` across the cut — the backbone
+  ceiling ``Theta(k^2 c / n)``;
+
+and Lemma 8's access argument caps the infrastructure path at
+``lambda <= W k / n`` because one BS exchanges at most ``Theta(1)`` wireless
+traffic per slot.
+
+These bounds are *valid for every routing scheme*, so the benchmark
+confronting them with the achieved (flow-level) rates demonstrates
+Corollary 2's tightness empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..geometry.torus import pairwise_distances
+from ..mobility.shapes import MobilityShape
+from ..simulation.traffic import PermutationTraffic
+from ..wireless.link_capacity import (
+    contact_probability_ms_bs,
+    contact_probability_ms_ms,
+)
+
+__all__ = [
+    "CutBound",
+    "vertical_strip",
+    "horizontal_strip",
+    "cut_upper_bound",
+    "access_upper_bound",
+    "combined_upper_bound",
+]
+
+Membership = Callable[[np.ndarray], np.ndarray]
+
+
+def vertical_strip(offset: float) -> Membership:
+    """Interior = the vertical half-torus ``x in [offset, offset + 1/2)``.
+
+    On the torus a half-strip has a closed boundary (two vertical circles),
+    the natural analogue of Lemma 6's closed curve.
+    """
+
+    def member(points: np.ndarray) -> np.ndarray:
+        return np.mod(points[:, 0] - offset, 1.0) < 0.5
+
+    return member
+
+
+def horizontal_strip(offset: float) -> Membership:
+    """Interior = the horizontal half-torus ``y in [offset, offset + 1/2)``."""
+
+    def member(points: np.ndarray) -> np.ndarray:
+        return np.mod(points[:, 1] - offset, 1.0) < 0.5
+
+    return member
+
+
+@dataclass(frozen=True)
+class CutBound:
+    """One evaluated cut: numerator terms, crossing sessions, the bound."""
+
+    bound: float
+    wireless_ms_ms: float
+    wireless_ms_bs: float
+    wired_bs_bs: float
+    crossing_sessions: int
+
+    @property
+    def numerator(self) -> float:
+        """Total capacity across the cut."""
+        return self.wireless_ms_ms + self.wireless_ms_bs + self.wired_bs_bs
+
+
+def cut_upper_bound(
+    home_points: np.ndarray,
+    traffic: PermutationTraffic,
+    shape: MobilityShape,
+    f: float,
+    membership: Membership,
+    bs_positions: Optional[np.ndarray] = None,
+    wire_capacity: float = 0.0,
+    c_t: float = 1.0,
+) -> CutBound:
+    """Evaluate Lemma 6 on one cut of a realised network.
+
+    ``membership`` maps positions to an interior mask.  Home-points stand in
+    for node positions (link capacities depend only on home-points,
+    Lemma 2).  Pass ``bs_positions``/``wire_capacity`` to include the
+    infrastructure terms of Lemma 7.
+    """
+    home_points = np.atleast_2d(np.asarray(home_points, dtype=float))
+    n = home_points.shape[0]
+    if traffic.session_count != n:
+        raise ValueError(
+            f"traffic has {traffic.session_count} sessions for {n} MSs"
+        )
+    ms_in = membership(home_points)
+    # MS-MS wireless capacity across the cut
+    inside = home_points[ms_in]
+    outside = home_points[~ms_in]
+    ms_ms = 0.0
+    if inside.size and outside.size:
+        distances = pairwise_distances(inside, outside)
+        mu = contact_probability_ms_ms(shape, f, n, distances, c_t)
+        ms_ms = float(mu.sum())
+    ms_bs = 0.0
+    bs_bs = 0.0
+    if bs_positions is not None and len(bs_positions):
+        bs_positions = np.atleast_2d(np.asarray(bs_positions, dtype=float))
+        bs_in = membership(bs_positions)
+        # MS-BS wireless links across the cut (both directions of membership)
+        for ms_mask, bs_mask in ((ms_in, ~bs_in), (~ms_in, bs_in)):
+            ms_side = home_points[ms_mask]
+            bs_side = bs_positions[bs_mask]
+            if ms_side.size and bs_side.size:
+                distances = pairwise_distances(ms_side, bs_side)
+                mu = contact_probability_ms_bs(shape, f, n, distances, c_t)
+                ms_bs += float(mu.sum())
+        # BS-BS wires across the cut (full mesh: every in/out pair)
+        bs_bs = float(bs_in.sum()) * float((~bs_in).sum()) * wire_capacity
+    crossing = 0
+    for source, dest in traffic.pairs():
+        if ms_in[source] and not ms_in[dest]:
+            crossing += 1
+    if crossing == 0:
+        bound = float("inf")
+    else:
+        bound = (ms_ms + ms_bs + bs_bs) / crossing
+    return CutBound(
+        bound=bound,
+        wireless_ms_ms=ms_ms,
+        wireless_ms_bs=ms_bs,
+        wired_bs_bs=bs_bs,
+        crossing_sessions=crossing,
+    )
+
+
+def access_upper_bound(n: int, k: int, wireless_bandwidth: float = 1.0) -> float:
+    """Lemma 8: the infrastructure path carries at most ``W k / n`` per node.
+
+    Each BS exchanges at most ``W`` wireless traffic per unit time (protocol
+    model), shared by ``n`` MSs whose sessions each traverse the access
+    phase twice (up and down).
+    """
+    if n < 1 or k < 0:
+        raise ValueError(f"need n >= 1 and k >= 0, got n={n}, k={k}")
+    return wireless_bandwidth * k / (2.0 * n)
+
+
+def combined_upper_bound(
+    home_points: np.ndarray,
+    traffic: PermutationTraffic,
+    shape: MobilityShape,
+    f: float,
+    bs_positions: Optional[np.ndarray] = None,
+    wire_capacity: float = 0.0,
+    c_t: float = 1.0,
+    offsets: int = 4,
+) -> Dict[str, float]:
+    """Theorem 4 numerically: minimise the cut bound over strip cuts and add
+    the access cap for the infrastructure term.
+
+    Returns ``{"cut": ..., "access": ..., "bound": min over applicable}``;
+    the access cap applies only to the infrastructure contribution, so the
+    returned headline ``bound`` is ``min(cut, mobility_cut + access)``
+    conservatively approximated by ``min(cut_bound, wireless_cut + access)``
+    where ``wireless_cut`` is the best cut evaluated without wires.
+    """
+    cuts: List[CutBound] = []
+    wireless_only: List[CutBound] = []
+    for index in range(offsets):
+        offset = index / offsets
+        for strip in (vertical_strip(offset), horizontal_strip(offset)):
+            cuts.append(
+                cut_upper_bound(
+                    home_points, traffic, shape, f, strip,
+                    bs_positions=bs_positions, wire_capacity=wire_capacity,
+                    c_t=c_t,
+                )
+            )
+            wireless_only.append(
+                cut_upper_bound(
+                    home_points, traffic, shape, f, strip,
+                    bs_positions=None, wire_capacity=0.0, c_t=c_t,
+                )
+            )
+    best_cut = min(cut.bound for cut in cuts)
+    best_wireless = min(cut.bound for cut in wireless_only)
+    k = 0 if bs_positions is None else len(bs_positions)
+    access = access_upper_bound(home_points.shape[0], k) if k else float("inf")
+    return {
+        "cut": best_cut,
+        "wireless_cut": best_wireless,
+        "access": access,
+        "bound": min(best_cut, best_wireless + access),
+    }

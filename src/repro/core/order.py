@@ -1,0 +1,288 @@
+"""Exact arithmetic over asymptotic orders of growth.
+
+Every closed-form result in the paper is an order statement of the form
+``Theta(n^a * log^b n)``.  This module implements that two-parameter family as
+an exact algebra so that regime boundaries (which hinge on *strict*
+inequalities between exponents) can be decided without floating point
+ambiguity.
+
+An :class:`Order` represents the growth class ``Theta(n^a * (log n)^b)``.
+The algebra follows the standard asymptotic rules:
+
+- addition is dominance: ``Theta(f) + Theta(g) = Theta(max(f, g))``,
+- multiplication adds exponents,
+- ``min``/``max`` compare growth lexicographically on ``(a, b)``,
+- the predicates ``is_o`` / ``is_O`` / ``is_omega`` / ``is_Omega`` implement
+  the usual Landau relations.
+
+Exponents are stored as :class:`fractions.Fraction`.  Floats supplied by the
+caller are snapped to nearby small rationals (denominator at most one
+million) so that, e.g., ``alpha = 0.25`` and ``M = 0.5`` satisfy
+``alpha - M / 2 == 0`` exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Union
+
+__all__ = ["Order", "ExponentLike", "as_fraction", "order_min", "order_max", "order_sum"]
+
+ExponentLike = Union[int, float, Fraction, str]
+
+_MAX_DENOMINATOR = 1_000_000
+
+
+def as_fraction(value: ExponentLike) -> Fraction:
+    """Convert an exponent-like value to an exact :class:`Fraction`.
+
+    Floats are snapped to the nearest rational with denominator at most
+    ``1e6`` so that decimal literals such as ``0.1`` become ``1/10`` rather
+    than their binary expansion.
+
+    >>> as_fraction(0.1)
+    Fraction(1, 10)
+    >>> as_fraction("3/8")
+    Fraction(3, 8)
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # guard: bool is a subclass of int
+        raise TypeError("exponent may not be a bool")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(_MAX_DENOMINATOR)
+    if isinstance(value, str):
+        return Fraction(value)
+    raise TypeError(f"cannot interpret {value!r} as an exponent")
+
+
+class Order:
+    """The asymptotic growth class ``Theta(n^a * (log n)^b)``.
+
+    Instances are immutable and hashable.  ``a`` is the polynomial exponent
+    and ``b`` the logarithmic exponent.
+
+    >>> Order(1, 0) * Order("-1/2")
+    Order('1/2')
+    >>> Order(1) + Order(2)        # dominance
+    Order(2)
+    >>> Order(0, 1).is_o(Order("1/4"))
+    True
+    """
+
+    __slots__ = ("_poly", "_log")
+
+    def __init__(self, poly: ExponentLike = 0, log: ExponentLike = 0):
+        object.__setattr__(self, "_poly", as_fraction(poly))
+        object.__setattr__(self, "_log", as_fraction(log))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Order instances are immutable")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def one(cls) -> "Order":
+        """The constant class ``Theta(1)``."""
+        return cls(0, 0)
+
+    @classmethod
+    def poly(cls, exponent: ExponentLike) -> "Order":
+        """``Theta(n^exponent)``."""
+        return cls(exponent, 0)
+
+    @classmethod
+    def log(cls, exponent: ExponentLike = 1) -> "Order":
+        """``Theta((log n)^exponent)``."""
+        return cls(0, exponent)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def poly_exponent(self) -> Fraction:
+        """Polynomial exponent ``a`` in ``Theta(n^a log^b n)``."""
+        return self._poly
+
+    @property
+    def log_exponent(self) -> Fraction:
+        """Logarithmic exponent ``b`` in ``Theta(n^a log^b n)``."""
+        return self._log
+
+    @property
+    def key(self) -> tuple:
+        """Lexicographic comparison key ``(a, b)``."""
+        return (self._poly, self._log)
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def __mul__(self, other: "Order") -> "Order":
+        other = _coerce(other)
+        return Order(self._poly + other._poly, self._log + other._log)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Order") -> "Order":
+        other = _coerce(other)
+        return Order(self._poly - other._poly, self._log - other._log)
+
+    def __rtruediv__(self, other: "Order") -> "Order":
+        return _coerce(other).__truediv__(self)
+
+    def __add__(self, other: "Order") -> "Order":
+        """Dominance sum: ``Theta(f) + Theta(g) = Theta(max(f, g))``."""
+        other = _coerce(other)
+        return self if self.key >= other.key else other
+
+    __radd__ = __add__
+
+    def __pow__(self, exponent: ExponentLike) -> "Order":
+        exponent = as_fraction(exponent)
+        return Order(self._poly * exponent, self._log * exponent)
+
+    def sqrt(self) -> "Order":
+        """``Theta(sqrt(f))``."""
+        return self ** Fraction(1, 2)
+
+    def reciprocal(self) -> "Order":
+        """``Theta(1/f)``."""
+        return Order(-self._poly, -self._log)
+
+    # ------------------------------------------------------------------
+    # comparisons (growth dominance)
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Order):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(("Order", self.key))
+
+    def __lt__(self, other: "Order") -> bool:
+        return self.key < _coerce(other).key
+
+    def __le__(self, other: "Order") -> bool:
+        return self.key <= _coerce(other).key
+
+    def __gt__(self, other: "Order") -> bool:
+        return self.key > _coerce(other).key
+
+    def __ge__(self, other: "Order") -> bool:
+        return self.key >= _coerce(other).key
+
+    # ------------------------------------------------------------------
+    # Landau predicates
+    # ------------------------------------------------------------------
+    def is_o(self, other: "Order" = None) -> bool:
+        """True when ``self = o(other)`` (strictly slower growth).
+
+        With no argument, tests ``self = o(1)``.
+        """
+        other = Order.one() if other is None else _coerce(other)
+        return self.key < other.key
+
+    def is_O(self, other: "Order" = None) -> bool:
+        """True when ``self = O(other)``."""
+        other = Order.one() if other is None else _coerce(other)
+        return self.key <= other.key
+
+    def is_omega(self, other: "Order" = None) -> bool:
+        """True when ``self = omega(other)`` (strictly faster growth)."""
+        other = Order.one() if other is None else _coerce(other)
+        return self.key > other.key
+
+    def is_Omega(self, other: "Order" = None) -> bool:
+        """True when ``self = Omega(other)``."""
+        other = Order.one() if other is None else _coerce(other)
+        return self.key >= other.key
+
+    def is_theta(self, other: "Order") -> bool:
+        """True when ``self = Theta(other)``."""
+        return self.key == _coerce(other).key
+
+    # ------------------------------------------------------------------
+    # evaluation & rendering
+    # ------------------------------------------------------------------
+    def evaluate(self, n: float) -> float:
+        """Evaluate the representative function ``n^a * (log n)^b`` at ``n``.
+
+        Useful for finite-size predictions; requires ``n > 1`` whenever the
+        log exponent is non-zero so the logarithm is positive.
+        """
+        import math
+
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        value = float(n) ** float(self._poly)
+        if self._log != 0:
+            if n <= 1:
+                raise ValueError("n must exceed 1 when a log factor is present")
+            value *= math.log(n) ** float(self._log)
+        return value
+
+    def __repr__(self) -> str:
+        if self._log == 0:
+            return f"Order({_fmt_frac(self._poly)!r})" if self._poly.denominator != 1 else f"Order({self._poly.numerator})"
+        return f"Order({_fmt_frac(self._poly)!r}, {_fmt_frac(self._log)!r})"
+
+    def __str__(self) -> str:
+        return f"Theta({self.pretty()})"
+
+    def pretty(self) -> str:
+        """Human-readable growth expression, e.g. ``n^1/2 log^2 n``."""
+        parts = []
+        if self._poly != 0:
+            parts.append("n" if self._poly == 1 else f"n^{_fmt_frac(self._poly)}")
+        if self._log != 0:
+            parts.append("log n" if self._log == 1 else f"log^{_fmt_frac(self._log)} n")
+        return " ".join(parts) if parts else "1"
+
+
+def _coerce(value) -> Order:
+    if isinstance(value, Order):
+        return value
+    if isinstance(value, (int, float, Fraction)):
+        if as_fraction(value) <= 0:
+            raise ValueError("only positive constants coerce to Theta(1)")
+        return Order.one()
+    raise TypeError(f"cannot coerce {value!r} to Order")
+
+
+def _fmt_frac(value: Fraction) -> str:
+    return str(value.numerator) if value.denominator == 1 else f"{value.numerator}/{value.denominator}"
+
+
+def order_min(*orders: Order) -> Order:
+    """The slowest-growing of the given orders (``Theta(min{...})``)."""
+    items = _flatten(orders)
+    if not items:
+        raise ValueError("order_min requires at least one Order")
+    return min(items, key=lambda o: o.key)
+
+
+def order_max(*orders: Order) -> Order:
+    """The fastest-growing of the given orders (``Theta(max{...})``)."""
+    items = _flatten(orders)
+    if not items:
+        raise ValueError("order_max requires at least one Order")
+    return max(items, key=lambda o: o.key)
+
+
+def order_sum(orders: Iterable[Order]) -> Order:
+    """Dominance sum of an iterable of orders."""
+    return order_max(*list(orders))
+
+
+def _flatten(orders) -> list:
+    items = []
+    for entry in orders:
+        if isinstance(entry, Order):
+            items.append(entry)
+        else:
+            items.extend(_flatten(entry))
+    return items

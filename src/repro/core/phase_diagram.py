@@ -1,0 +1,141 @@
+"""Figure 3: capacity phase diagrams over ``(alpha, K)``.
+
+Figure 3 of the paper plots the per-node capacity of the *uniformly dense*
+network (uniform home-points, ``m = n``) as a function of ``f(n) = n^alpha``
+and ``k = Theta(n^K)``, with ``mu_c = k c(n) = Theta(n^phi)`` as panel
+parameter:
+
+``lambda = Theta(1/f) + Theta(min{k^2 c/n, k/n})
+        = Theta(n^{max(-alpha, min(K + phi - 1, K - 1))})``.
+
+The *mobility dominant* region is where ``1/f`` wins; the *infrastructure
+dominant* region is where the ``min`` term wins.  Their boundary is the
+straight line
+
+- ``K = 1 - alpha``             when ``phi >= 0`` (access-limited panel),
+- ``K = 1 - phi - alpha``       when ``phi < 0``  (backbone-limited panel),
+
+which reproduces the two panels of Figure 3: the left panel is annotated
+``phi >= 0`` with boundary marks (alpha, K) = (0, 1) .. (1/2, 1/2); the right
+panel uses a negative ``phi`` (``phi = -1/4`` matches its 3/4 intercept at
+``alpha = 1/2`` and the boundary leaving the ``K = 1`` edge at
+``alpha = 1/4``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List
+
+import numpy as np
+
+from .order import ExponentLike, Order, as_fraction, order_min
+
+__all__ = [
+    "capacity_exponent",
+    "dominance",
+    "mobility_boundary",
+    "PhaseDiagram",
+    "compute_phase_diagram",
+]
+
+
+def capacity_exponent(
+    alpha: ExponentLike, bs_exponent: ExponentLike, phi: ExponentLike
+) -> Fraction:
+    """Polynomial exponent of per-node capacity in the uniformly dense
+    network (Theorem 5 with ``m = n``)."""
+    alpha = as_fraction(alpha)
+    big_k = as_fraction(bs_exponent)
+    phi = as_fraction(phi)
+    if not (0 <= alpha <= Fraction(1, 2)):
+        raise ValueError(f"alpha must be in [0, 1/2], got {alpha}")
+    if not (0 <= big_k <= 1):
+        raise ValueError(f"K must be in [0, 1], got {big_k}")
+    mobility = Order(-alpha)
+    infra = order_min(Order(big_k + phi - 1), Order(big_k - 1))
+    return (mobility + infra).poly_exponent
+
+
+def dominance(
+    alpha: ExponentLike, bs_exponent: ExponentLike, phi: ExponentLike
+) -> str:
+    """Which term wins: ``"mobility"``, ``"infrastructure"`` or ``"tie"``."""
+    alpha = as_fraction(alpha)
+    big_k = as_fraction(bs_exponent)
+    phi = as_fraction(phi)
+    mobility = -alpha
+    infra = min(big_k + phi - 1, big_k - 1)
+    if mobility > infra:
+        return "mobility"
+    if infra > mobility:
+        return "infrastructure"
+    return "tie"
+
+
+def mobility_boundary(alpha: ExponentLike, phi: ExponentLike) -> Fraction:
+    """The boundary value of ``K`` above which infrastructure dominates.
+
+    ``K = 1 - alpha`` for ``phi >= 0`` and ``K = 1 - phi - alpha``
+    otherwise; values above 1 mean infrastructure can never dominate at this
+    ``alpha`` (since ``k = O(n)`` caps ``K`` at 1).
+    """
+    alpha = as_fraction(alpha)
+    phi = as_fraction(phi)
+    if phi >= 0:
+        return 1 - alpha
+    return 1 - phi - alpha
+
+
+@dataclass(frozen=True)
+class PhaseDiagram:
+    """A sampled capacity-exponent surface over the ``(alpha, K)`` square."""
+
+    alphas: np.ndarray
+    bs_exponents: np.ndarray
+    phi: Fraction
+    exponents: np.ndarray  # shape (len(bs_exponents), len(alphas))
+    regions: np.ndarray  # same shape; "mobility" / "infrastructure" / "tie"
+
+    def boundary_curve(self) -> List[Fraction]:
+        """Analytic boundary ``K(alpha)`` at each sampled ``alpha``."""
+        return [mobility_boundary(a, self.phi) for a in self.alphas]
+
+    def ascii_render(self) -> str:
+        """Compact text rendering: ``M`` mobility, ``I`` infrastructure,
+        ``=`` tie; rows are descending ``K``."""
+        symbols = {"mobility": "M", "infrastructure": "I", "tie": "="}
+        lines = []
+        for row in range(len(self.bs_exponents) - 1, -1, -1):
+            tag = f"K={float(self.bs_exponents[row]):.2f} "
+            lines.append(tag + "".join(symbols[r] for r in self.regions[row]))
+        lines.append(
+            "       alpha: "
+            f"{float(self.alphas[0]):.2f} .. {float(self.alphas[-1]):.2f}"
+        )
+        return "\n".join(lines)
+
+
+def compute_phase_diagram(
+    phi: ExponentLike, grid_points: int = 21
+) -> PhaseDiagram:
+    """Sample the Figure-3 panel for one ``phi`` on a uniform grid."""
+    if grid_points < 2:
+        raise ValueError(f"need at least a 2x2 grid, got {grid_points}")
+    phi = as_fraction(phi)
+    alphas = [Fraction(i, 2 * (grid_points - 1)) for i in range(grid_points)]
+    bs_exponents = [Fraction(i, grid_points - 1) for i in range(grid_points)]
+    exponents = np.empty((grid_points, grid_points), dtype=float)
+    regions = np.empty((grid_points, grid_points), dtype=object)
+    for row, big_k in enumerate(bs_exponents):
+        for col, alpha in enumerate(alphas):
+            exponents[row, col] = float(capacity_exponent(alpha, big_k, phi))
+            regions[row, col] = dominance(alpha, big_k, phi)
+    return PhaseDiagram(
+        alphas=np.array([float(a) for a in alphas]),
+        bs_exponents=np.array([float(k) for k in bs_exponents]),
+        phi=phi,
+        exponents=exponents,
+        regions=regions,
+    )

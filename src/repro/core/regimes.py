@@ -1,0 +1,330 @@
+"""Network parameterisation and mobility-regime classification.
+
+The paper parameterises the network by five scaling exponents:
+
+- ``alpha``: the network side length grows as ``f(n) = n^alpha``,
+  ``alpha in [0, 1/2]`` (``0`` = dense network, ``1/2`` = extended network);
+- ``M``: there are ``m = Theta(n^M)`` home-point clusters;
+- ``R``: each cluster has radius ``r = Theta(n^-R)`` (after normalising the
+  network to the unit torus);
+- ``K``: there are ``k = Theta(n^K)`` base stations;
+- ``phi``: the aggregate backbone bandwidth per base station is
+  ``mu_c = k * c(n) = Theta(n^phi)``, i.e. each wired BS-to-BS link carries
+  ``c(n) = Theta(n^{phi - K})``.
+
+Two derived quantities drive the classification (Section III / V):
+
+- ``gamma(n) = log m / m`` -- the squared critical transmission range for
+  connectivity if all ``m`` cluster centres were static nodes;
+- ``gamma_tilde(n) = r^2 * log(n/m) / (n/m)`` -- the squared critical range
+  *within* one cluster of ``n/m`` nodes and radius ``r``.
+
+Mobility regimes (Theorem 1, Section V):
+
+- **strong**   when ``f * sqrt(gamma) = o(1)`` -- node mobility exceeds the
+  critical connectivity range, the network is uniformly dense;
+- **weak**     when ``f * sqrt(gamma) = omega(1)`` but
+  ``f * sqrt(gamma_tilde) = o(1)`` -- clusters are isolated islands, yet each
+  cluster is internally uniformly dense;
+- **trivial**  when ``f * sqrt(gamma_tilde) = omega(log(n/m))`` -- mobility is
+  negligible even within a cluster and the network behaves as static
+  (Theorem 8).
+
+Exponent combinations falling exactly on a boundary (or in the measure-zero
+sliver the paper leaves open between weak and trivial) are reported as
+:attr:`MobilityRegime.BOUNDARY`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional
+
+from .order import ExponentLike, Order, as_fraction
+
+__all__ = ["MobilityRegime", "NetworkParameters", "InvalidParameters"]
+
+
+class InvalidParameters(ValueError):
+    """Raised when scaling exponents violate the paper's standing assumptions."""
+
+
+class MobilityRegime(enum.Enum):
+    """The three mobility regimes of the paper, plus boundary cases."""
+
+    STRONG = "strong"
+    WEAK = "weak"
+    TRIVIAL = "trivial"
+    #: Exponents sit exactly on a regime boundary (order statements in the
+    #: paper are strict and do not cover these measure-zero cases).
+    BOUNDARY = "boundary"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Scaling exponents describing one family of networks.
+
+    All exponents are snapped to exact rationals (see
+    :func:`repro.core.order.as_fraction`), so boundary comparisons are exact.
+
+    Parameters
+    ----------
+    alpha:
+        Network extension exponent, ``f(n) = n^alpha`` with
+        ``alpha in [0, 1/2]``.
+    cluster_exponent:
+        ``M`` with ``m = Theta(n^M)`` clusters, ``0 <= M <= 1``.  ``M = 1``
+        means no clustering (uniform home-points).
+    cluster_radius_exponent:
+        ``R`` with cluster radius ``r = Theta(n^-R)``, ``0 <= R <= alpha``.
+    bs_exponent:
+        ``K`` with ``k = Theta(n^K)`` base stations; ``None`` (or ``K``
+        negative) models a network without infrastructure.
+    backbone_exponent:
+        ``phi`` with aggregate per-BS backbone bandwidth
+        ``mu_c = k c(n) = Theta(n^phi)``.  Ignored when there are no base
+        stations.  The paper shows ``phi = 1`` is the optimal provisioning.
+    """
+
+    alpha: Fraction
+    cluster_exponent: Fraction = Fraction(1)
+    cluster_radius_exponent: Fraction = Fraction(0)
+    bs_exponent: Optional[Fraction] = None
+    backbone_exponent: Fraction = Fraction(1)
+
+    def __init__(
+        self,
+        alpha: ExponentLike,
+        cluster_exponent: ExponentLike = 1,
+        cluster_radius_exponent: ExponentLike = 0,
+        bs_exponent: Optional[ExponentLike] = None,
+        backbone_exponent: ExponentLike = 1,
+        validate: bool = True,
+    ):
+        object.__setattr__(self, "alpha", as_fraction(alpha))
+        object.__setattr__(self, "cluster_exponent", as_fraction(cluster_exponent))
+        object.__setattr__(
+            self, "cluster_radius_exponent", as_fraction(cluster_radius_exponent)
+        )
+        object.__setattr__(
+            self,
+            "bs_exponent",
+            None if bs_exponent is None else as_fraction(bs_exponent),
+        )
+        object.__setattr__(self, "backbone_exponent", as_fraction(backbone_exponent))
+        if validate:
+            violations = self.constraint_violations()
+            if violations:
+                raise InvalidParameters("; ".join(violations))
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def constraint_violations(self) -> List[str]:
+        """Return human-readable violations of the paper's assumptions.
+
+        An empty list means the parameters satisfy every standing assumption
+        from Section II.
+        """
+        alpha, big_m, big_r = self.alpha, self.cluster_exponent, self.cluster_radius_exponent
+        problems = []
+        if not (0 <= alpha <= Fraction(1, 2)):
+            problems.append(f"alpha must lie in [0, 1/2], got {alpha}")
+        if not (0 <= big_m <= 1):
+            problems.append(f"cluster exponent M must lie in [0, 1], got {big_m}")
+        if not (0 <= big_r <= alpha):
+            problems.append(
+                f"cluster radius exponent R must lie in [0, alpha]={alpha}, got {big_r}"
+            )
+        if big_m < 1 and big_m - 2 * big_r >= 0:
+            problems.append(
+                "clusters must not overlap w.h.p.: require M - 2R < 0, "
+                f"got M={big_m}, R={big_r}"
+            )
+        if self.bs_exponent is not None:
+            big_k = self.bs_exponent
+            if big_k > 1:
+                problems.append(f"k = O(n) is required: K <= 1, got {big_k}")
+            if big_k < 0:
+                problems.append(f"BS exponent K must be non-negative, got {big_k}")
+            if big_m < 1 and big_k <= big_m:
+                problems.append(
+                    "every cluster must host BSs w.h.p.: require k = omega(m), "
+                    f"i.e. K > M, got K={big_k}, M={big_m}"
+                )
+        return problems
+
+    # ------------------------------------------------------------------
+    # derived orders
+    # ------------------------------------------------------------------
+    @property
+    def has_infrastructure(self) -> bool:
+        """Whether the network includes base stations."""
+        return self.bs_exponent is not None
+
+    @property
+    def f(self) -> Order:
+        """Network side length ``f(n) = Theta(n^alpha)``."""
+        return Order(self.alpha)
+
+    @property
+    def m(self) -> Order:
+        """Number of clusters ``m = Theta(n^M)``."""
+        return Order(self.cluster_exponent)
+
+    @property
+    def r(self) -> Order:
+        """Cluster radius ``r = Theta(n^-R)``."""
+        return Order(-self.cluster_radius_exponent)
+
+    @property
+    def k(self) -> Order:
+        """Number of base stations ``k = Theta(n^K)``."""
+        if self.bs_exponent is None:
+            raise InvalidParameters("network has no infrastructure (bs_exponent=None)")
+        return Order(self.bs_exponent)
+
+    @property
+    def mu_c(self) -> Order:
+        """Aggregate per-BS backbone bandwidth ``mu_c = k c(n) = Theta(n^phi)``."""
+        return Order(self.backbone_exponent)
+
+    @property
+    def c(self) -> Order:
+        """Per-link backbone bandwidth ``c(n) = mu_c / k``."""
+        return self.mu_c / self.k
+
+    @property
+    def nodes_per_cluster(self) -> Order:
+        """``n_tilde = n / m = Theta(n^{1-M})``."""
+        return Order(1) / self.m
+
+    @property
+    def gamma(self) -> Order:
+        """``gamma(n) = log m / m`` -- squared critical range over clusters.
+
+        For ``M = 0`` the number of clusters is constant, hence
+        ``gamma = Theta(1)`` with no log factor.
+        """
+        if self.cluster_exponent == 0:
+            return Order.one()
+        return Order(-self.cluster_exponent, 1)
+
+    @property
+    def gamma_tilde(self) -> Order:
+        """``gamma_tilde(n) = r^2 log(n/m) / (n/m)`` -- in-cluster critical range squared."""
+        big_m, big_r = self.cluster_exponent, self.cluster_radius_exponent
+        log_power = 1 if big_m < 1 else 0
+        return Order(-2 * big_r - (1 - big_m), log_power)
+
+    @property
+    def mobility_strength(self) -> Order:
+        """``f(n) * sqrt(gamma(n))`` -- the Theorem 1 uniform-density criterion."""
+        return self.f * self.gamma.sqrt()
+
+    @property
+    def cluster_mobility_strength(self) -> Order:
+        """``f(n) * sqrt(gamma_tilde(n))`` -- the in-cluster density criterion."""
+        return self.f * self.gamma_tilde.sqrt()
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    @property
+    def is_uniformly_dense(self) -> bool:
+        """Theorem 1: uniformly dense iff ``f sqrt(gamma) = o(1)`` (and ``k=O(n)``)."""
+        return self.mobility_strength.is_o()
+
+    @property
+    def regime(self) -> MobilityRegime:
+        """Classify the mobility regime of this parameter family."""
+        strength = self.mobility_strength
+        if strength.is_o():
+            return MobilityRegime.STRONG
+        if not strength.is_omega():
+            # f*sqrt(gamma) = Theta(1): exactly on the strong/weak boundary.
+            return MobilityRegime.BOUNDARY
+        in_cluster = self.cluster_mobility_strength
+        if in_cluster.is_o():
+            return MobilityRegime.WEAK
+        log_n_over_m = Order(0, 1) if self.cluster_exponent < 1 else Order.one()
+        if in_cluster.is_omega(log_n_over_m):
+            return MobilityRegime.TRIVIAL
+        return MobilityRegime.BOUNDARY
+
+    # ------------------------------------------------------------------
+    # finite-n realisation helpers
+    # ------------------------------------------------------------------
+    def realize(self, n: int) -> "RealizedParameters":
+        """Instantiate concrete finite-``n`` values for simulation.
+
+        Returns counts/sizes obtained by evaluating the representative
+        functions at ``n`` (clamped to sensible integer minima).
+        """
+        import math
+
+        if n < 2:
+            raise ValueError(f"need n >= 2, got {n}")
+        m = max(1, round(float(n) ** float(self.cluster_exponent)))
+        m = min(m, n)
+        k = None
+        c = None
+        if self.bs_exponent is not None:
+            k = max(1, round(float(n) ** float(self.bs_exponent)))
+            c = float(n) ** float(self.backbone_exponent - self.bs_exponent)
+        return RealizedParameters(
+            n=n,
+            f=float(n) ** float(self.alpha),
+            m=m,
+            r=float(n) ** float(-self.cluster_radius_exponent),
+            k=k,
+            c=c,
+            gamma=(math.log(max(m, 2)) / m),
+            parameters=self,
+        )
+
+    def describe(self) -> str:
+        """One-line summary of the family and its regime."""
+        parts = [
+            f"f=n^{self.alpha}",
+            f"m=n^{self.cluster_exponent}",
+            f"r=n^-{self.cluster_radius_exponent}",
+        ]
+        if self.bs_exponent is not None:
+            parts.append(f"k=n^{self.bs_exponent}")
+            parts.append(f"mu_c=n^{self.backbone_exponent}")
+        else:
+            parts.append("no BSs")
+        return f"NetworkParameters({', '.join(parts)}; regime={self.regime})"
+
+
+@dataclass(frozen=True)
+class RealizedParameters:
+    """Concrete (finite-``n``) realisation of a :class:`NetworkParameters` family."""
+
+    n: int
+    f: float
+    m: int
+    r: float
+    k: Optional[int]
+    c: Optional[float]
+    gamma: float
+    parameters: NetworkParameters = field(repr=False)
+
+    @property
+    def n_tilde(self) -> float:
+        """Average nodes per cluster ``n / m``."""
+        return self.n / self.m
+
+    @property
+    def gamma_tilde(self) -> float:
+        """Finite-``n`` value of ``r^2 log(n/m) / (n/m)``."""
+        import math
+
+        n_tilde = max(self.n_tilde, 2.0)
+        return self.r ** 2 * math.log(n_tilde) / n_tilde

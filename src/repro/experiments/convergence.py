@@ -1,0 +1,115 @@
+"""Finite-size convergence study: how fast measured slopes approach theory.
+
+Every order statement in the paper is exact only as ``n -> infinity``; at
+simulation sizes the measured log-log slopes carry systematic drifts (the
+min-over-resources concentration bias quantified in EXPERIMENTS.md).  This
+harness measures the *local* slope of ``lambda(n)`` on sliding windows of a
+geometric grid, exposing the drift toward the asymptotic exponent -- the
+quantitative footing for the tolerance used by the Table-I benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.regimes import NetworkParameters
+from ..utils.fitting import fit_power_law
+from .scaling import measure_rate, theory_order
+from ..utils.rng import spawn_rngs
+
+__all__ = ["ConvergenceStudy", "windowed_slopes"]
+
+
+@dataclass(frozen=True)
+class ConvergenceStudy:
+    """Local slopes on sliding n-windows plus the asymptotic target."""
+
+    parameters: NetworkParameters
+    scheme: str
+    n_values: np.ndarray
+    rates: np.ndarray
+    window_centers: np.ndarray
+    window_slopes: np.ndarray
+    theory_exponent: float
+
+    @property
+    def final_error(self) -> float:
+        """|last-window slope - theory|."""
+        return abs(float(self.window_slopes[-1]) - self.theory_exponent)
+
+    def drift(self) -> float:
+        """Signed change of the local slope from the first window to the
+        last; negative values mean the slope is still descending toward a
+        more negative asymptote."""
+        return float(self.window_slopes[-1] - self.window_slopes[0])
+
+    def rows(self) -> List[list]:
+        """Result-table rows: window centre, local slope, error vs theory."""
+        return [
+            [
+                int(center),
+                f"{slope:+.3f}",
+                f"{abs(slope - self.theory_exponent):.3f}",
+            ]
+            for center, slope in zip(self.window_centers, self.window_slopes)
+        ]
+
+
+def windowed_slopes(
+    parameters: NetworkParameters,
+    n_values: Sequence[int],
+    scheme: str = "A",
+    window: int = 3,
+    trials: int = 3,
+    seed: int = 0,
+    build_kwargs: Optional[dict] = None,
+    generic: bool = False,
+) -> ConvergenceStudy:
+    """Measure ``lambda(n)`` on the grid and fit slopes per sliding window.
+
+    ``window`` consecutive grid points feed each local fit; windows slide by
+    one point.  Needs ``len(n_values) >= window >= 2``.
+    """
+    n_values = np.asarray(sorted(n_values), dtype=int)
+    if window < 2 or window > n_values.shape[0]:
+        raise ValueError(
+            f"window must be in [2, {n_values.shape[0]}], got {window}"
+        )
+    build_kwargs = build_kwargs or {}
+    rng_iter = spawn_rngs(seed, n_values.shape[0] * trials)
+    rates = np.empty(n_values.shape[0])
+    for index, n in enumerate(n_values):
+        samples = []
+        for _ in range(trials):
+            result = measure_rate(
+                parameters, int(n), next(rng_iter), scheme, **build_kwargs
+            )
+            if generic:
+                samples.append(
+                    result.details.get("generic_rate", result.per_node_rate)
+                )
+            else:
+                samples.append(result.per_node_rate)
+        rates[index] = float(np.median(samples))
+    centers, slopes = [], []
+    for start in range(n_values.shape[0] - window + 1):
+        chunk_n = n_values[start:start + window]
+        chunk_rate = rates[start:start + window]
+        if np.any(chunk_rate <= 0):
+            continue
+        fit = fit_power_law(chunk_n, chunk_rate)
+        centers.append(float(np.exp(np.mean(np.log(chunk_n)))))
+        slopes.append(fit.exponent)
+    theory = float(theory_order(parameters, scheme).poly_exponent)
+    return ConvergenceStudy(
+        parameters=parameters,
+        scheme=scheme,
+        n_values=n_values,
+        rates=rates,
+        window_centers=np.array(centers),
+        window_slopes=np.array(slopes),
+        theory_exponent=theory,
+    )

@@ -1,0 +1,108 @@
+"""Delay-capacity observations (extension).
+
+The paper is a pure capacity analysis, but its related work (Sharma et al.,
+Neely-Modiano, Li et al. [9]) frames each scheme's *delay* as the other axis
+of the tradeoff:
+
+- scheme A pays ``Theta(f)`` relay hops, each waiting for a squarelet
+  contact -> delay grows with the network extension;
+- the two-hop relay pays only 2 hops, but the relay must physically carry
+  the packet to the destination -> delay dominated by mobility mixing time;
+- scheme B crosses the network over the wired backbone -> delay is a few
+  access contacts, independent of ``f`` (the constant-delay claim of [9]).
+
+This module runs light-load packet simulations of the three disciplines on
+one network realisation and reports delivered-packet delay statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..core.regimes import NetworkParameters
+from ..mobility.processes import IIDAroundHome
+from ..simulation.engine import SlottedSimulator
+from ..simulation.network import HybridNetwork
+from ..simulation.routers import SchemeARouter, SchemeBRouter, TwoHopRelayRouter
+from ..simulation.traffic import permutation_traffic
+
+__all__ = ["DelayComparison", "compare_delays"]
+
+
+@dataclass(frozen=True)
+class DelayComparison:
+    """Delay and throughput of the three forwarding disciplines."""
+
+    mean_delay: Dict[str, float]
+    mean_hops: Dict[str, float]
+    delivered: Dict[str, int]
+
+    def lines(self):
+        """Text rows for the benchmark report."""
+        out = []
+        for scheme in self.mean_delay:
+            out.append(
+                f"{scheme:10s} delay={self.mean_delay[scheme]:8.1f} slots  "
+                f"hops={self.mean_hops[scheme]:5.2f}  "
+                f"delivered={self.delivered[scheme]}"
+            )
+        return out
+
+
+def compare_delays(
+    n: int,
+    seed: int,
+    slots: int = 4000,
+    arrival_prob: float = 0.002,
+    parameters: NetworkParameters = None,
+) -> DelayComparison:
+    """Run scheme A, two-hop relay and scheme B at light load on one
+    realisation and collect delay statistics."""
+    if parameters is None:
+        parameters = NetworkParameters(
+            alpha="1/4", cluster_exponent=1, bs_exponent="7/8",
+            backbone_exponent=1,
+        )
+    mean_delay, mean_hops, delivered = {}, {}, {}
+
+    def run(label, router_factory, include_bs):
+        rng = np.random.default_rng(seed)
+        net = HybridNetwork.build(parameters, n, rng)
+        traffic = permutation_traffic(rng, n)
+        process = IIDAroundHome(
+            net.home_model.points, net.shape, 1.0 / net.realized.f, rng
+        )
+        static = net.bs_positions if include_bs else None
+        scheduler = net.scheduler()
+        router = router_factory(net)
+        sim = SlottedSimulator(
+            process, scheduler, router, traffic, arrival_prob, rng,
+            static_positions=static,
+        )
+        metrics = sim.run(slots)
+        mean_delay[label] = metrics.mean_delay
+        mean_hops[label] = metrics.mean_hops
+        delivered[label] = metrics.delivered
+
+    def scheme_a_router(net):
+        scheme = net.scheme_a()
+        return SchemeARouter(
+            scheme.tessellation, scheme.tessellation.cell_of(net.home_model.points)
+        )
+
+    def two_hop_router(net):
+        return TwoHopRelayRouter(net.n)
+
+    def scheme_b_router(net):
+        ms_zone, bs_zone, _ = type(net.scheme_b()).squarelet_zones(
+            net.home_model.points, net.bs_positions, 2
+        )
+        return SchemeBRouter(ms_zone, bs_zone, net.backbone, net.rng)
+
+    run("scheme-A", scheme_a_router, include_bs=False)
+    run("two-hop", two_hop_router, include_bs=False)
+    run("scheme-B", scheme_b_router, include_bs=True)
+    return DelayComparison(mean_delay, mean_hops, delivered)

@@ -1,0 +1,78 @@
+"""Figure 2 reproduction: an annotated routing-scheme-B example.
+
+Figure 2 of the paper illustrates the three phases of optimal routing scheme
+B on a squarelet grid: the source MS relays to the BSs of its squarelet
+(phase 1), those BSs exchange the data with the BSs of the destination
+squarelet over the wired backbone (phase 2), which finally deliver to the
+destination MS (phase 3).  We regenerate it as a concrete instance: a
+realised network, one traced session with its per-phase relay sets, and the
+feasibility numbers of each phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.regimes import NetworkParameters
+from ..simulation.network import HybridNetwork
+from ..simulation.traffic import permutation_traffic
+
+__all__ = ["SchemeBTrace", "trace_scheme_b"]
+
+#: A strong-mobility, infrastructure-dominant family where scheme B carries
+#: the traffic (matches the spirit of the paper's illustration).
+FIGURE2_PARAMS = NetworkParameters(
+    alpha="1/8", cluster_exponent=1, bs_exponent="7/8", backbone_exponent=1
+)
+
+
+@dataclass(frozen=True)
+class SchemeBTrace:
+    """One traced session plus the network-wide phase feasibility numbers."""
+
+    session: Dict[str, object]
+    access_rate: float
+    backbone_rate: float
+    per_node_rate: float
+    bottleneck: str
+
+    def lines(self) -> List[str]:
+        """Render the trace as text for the benchmark output."""
+        session = self.session
+        return [
+            f"session: MS {session['source']} -> MS {session['destination']}",
+            f"phase 1: source squarelet {session['source_zone']} "
+            f"uploads to BSs {session['phase1_bs']}",
+            f"phase 2: {session['backbone_wires']} backbone wires to "
+            f"squarelet {session['destination_zone']}",
+            f"phase 3: BSs {session['phase3_bs']} deliver to destination",
+            f"rates: access={self.access_rate:.3e} backbone={self.backbone_rate:.3e} "
+            f"=> lambda={self.per_node_rate:.3e} (bottleneck: {self.bottleneck})",
+        ]
+
+
+def trace_scheme_b(
+    n: int,
+    rng: np.random.Generator,
+    parameters: NetworkParameters = FIGURE2_PARAMS,
+    session_index: int = 0,
+) -> SchemeBTrace:
+    """Build a network, route one session through scheme B, and report."""
+    net = HybridNetwork.build(parameters, n, rng)
+    scheme = net.scheme_b()
+    traffic = permutation_traffic(net.rng, n)
+    result = scheme.sustainable_rate(traffic)
+    source = session_index % n
+    destination = int(traffic.destination[source])
+    session = scheme.session_route(source, destination)
+    backbone = result.details.get("backbone_rate", float("inf"))
+    return SchemeBTrace(
+        session=session,
+        access_rate=result.details["access_rate"],
+        backbone_rate=backbone,
+        per_node_rate=result.per_node_rate,
+        bottleneck=result.bottleneck,
+    )

@@ -1,0 +1,190 @@
+"""Capacity-scaling sweeps: measure ``lambda(n)`` and fit exponents.
+
+The central empirical methodology of the reproduction: realise a parameter
+family at a geometric grid of ``n``, measure the flow-level sustainable rate
+of a chosen scheme (median over independent trials), and fit the
+``log lambda`` vs ``log n`` slope for comparison with the closed-form
+exponent of :mod:`repro.core.capacity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.capacity import (
+    infrastructure_capacity,
+    mobility_capacity,
+    per_node_capacity,
+)
+from ..core.order import Order
+from ..core.regimes import MobilityRegime, NetworkParameters
+from ..routing.base import FlowResult
+from ..simulation.network import HybridNetwork
+from ..utils.fitting import PowerLawFit, fit_power_law
+from ..utils.rng import spawn_rngs
+
+__all__ = [
+    "SweepResult",
+    "measure_rate",
+    "sweep_capacity",
+    "theory_order",
+    "SCHEME_SELECTORS",
+]
+
+
+def _rate_optimal(net: HybridNetwork) -> FlowResult:
+    return net.sustainable_rate(net.sample_traffic())
+
+
+def _rate_scheme_a(net: HybridNetwork) -> FlowResult:
+    return net.scheme_a().sustainable_rate(net.sample_traffic())
+
+
+def _rate_scheme_b(net: HybridNetwork) -> FlowResult:
+    return net.scheme_b().sustainable_rate(net.sample_traffic())
+
+
+def _rate_scheme_c(net: HybridNetwork) -> FlowResult:
+    return net.scheme_c().sustainable_rate(net.sample_traffic())
+
+
+def _rate_static(net: HybridNetwork) -> FlowResult:
+    return net.static_baseline().sustainable_rate(net.sample_traffic())
+
+
+SCHEME_SELECTORS = {
+    "optimal": _rate_optimal,
+    "A": _rate_scheme_a,
+    "B": _rate_scheme_b,
+    "C": _rate_scheme_c,
+    "static": _rate_static,
+}
+
+
+def theory_order(parameters: NetworkParameters, scheme: str) -> Order:
+    """Closed-form capacity order of one scheme for one family.
+
+    ``optimal`` follows Table I; ``A`` achieves ``Theta(1/f)``; ``B`` and
+    ``C`` achieve the infrastructure term; ``static`` achieves the no-BS
+    rate ``Theta(1/(n R_T))`` at the connectivity-critical range.
+    """
+    if scheme == "optimal":
+        return per_node_capacity(parameters)
+    if scheme == "A":
+        return mobility_capacity(parameters)
+    if scheme in ("B", "C"):
+        return infrastructure_capacity(parameters)
+    if scheme == "static":
+        if parameters.regime is MobilityRegime.STRONG:
+            # strong mobility still pays the enlarged-range price when forced
+            # to route statically at R_T = sqrt(gamma)
+            return (Order(1) * parameters.gamma.sqrt()).reciprocal()
+        return (Order(1) * parameters.gamma.sqrt()).reciprocal()
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Measured capacity curve for one parameter family."""
+
+    parameters: NetworkParameters
+    scheme: str
+    n_values: np.ndarray
+    rates: np.ndarray  # median over trials, per n
+    trials: int
+    theory_exponent: float
+    fit: Optional[PowerLawFit]
+
+    @property
+    def exponent_error(self) -> float:
+        """``|measured - theory|`` slope gap (inf when the fit failed)."""
+        if self.fit is None:
+            return float("inf")
+        return abs(self.fit.exponent - self.theory_exponent)
+
+    def row(self) -> list:
+        """Values for a result table row."""
+        measured = "fail" if self.fit is None else f"{self.fit.exponent:+.3f}"
+        return [
+            self.scheme,
+            f"{self.theory_exponent:+.3f}",
+            measured,
+            f"{self.rates[-1]:.2e}",
+        ]
+
+
+def measure_rate(
+    parameters: NetworkParameters,
+    n: int,
+    rng: np.random.Generator,
+    scheme: str = "optimal",
+    **build_kwargs,
+) -> FlowResult:
+    """Flow-level rate of one realised network under the chosen scheme.
+
+    ``scheme`` is one of ``optimal`` (the regime-appropriate scheme, summing
+    A+B in the strong regime), ``A``, ``B``, ``C`` or ``static``.
+    """
+    if scheme not in SCHEME_SELECTORS:
+        raise ValueError(f"scheme must be one of {sorted(SCHEME_SELECTORS)}, got {scheme!r}")
+    net = HybridNetwork.build(parameters, n, rng, **build_kwargs)
+    return SCHEME_SELECTORS[scheme](net)
+
+
+def sweep_capacity(
+    parameters: NetworkParameters,
+    n_values: Sequence[int],
+    scheme: str = "optimal",
+    trials: int = 3,
+    seed: int = 0,
+    build_kwargs: Optional[dict] = None,
+    generic: bool = False,
+) -> SweepResult:
+    """Measure ``lambda(n)`` over a grid of ``n`` and fit the exponent.
+
+    The per-``n`` estimate is the median across ``trials`` independent
+    realisations (median is robust to the occasional degenerate draw, e.g. a
+    zone left without base stations at small ``n``).  Zero medians are
+    dropped before fitting; if fewer than two positive points survive, the
+    fit is ``None``.
+
+    ``generic=True`` fits the *generic-MS* rate reported by schemes B/C
+    (``details['generic_rate']``) instead of the uniform (min-MS) rate: the
+    paper's access results (Lemma 9) are statements about a generic node,
+    and the strict minimum converges to its order only at ``n`` far beyond
+    simulation reach (see EXPERIMENTS.md).
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    build_kwargs = build_kwargs or {}
+    n_values = np.asarray(sorted(n_values), dtype=int)
+    rates = np.empty(n_values.shape[0], dtype=float)
+    rng_iter = spawn_rngs(seed, n_values.shape[0] * trials)
+    for index, n in enumerate(n_values):
+        samples = []
+        for _ in range(trials):
+            result = measure_rate(
+                parameters, int(n), next(rng_iter), scheme, **build_kwargs
+            )
+            if generic:
+                samples.append(result.details.get("generic_rate", result.per_node_rate))
+            else:
+                samples.append(result.per_node_rate)
+        rates[index] = float(np.median(samples))
+    positive = rates > 0
+    fit = None
+    if int(positive.sum()) >= 2:
+        fit = fit_power_law(n_values[positive], rates[positive])
+    theory = float(theory_order(parameters, scheme).poly_exponent)
+    return SweepResult(
+        parameters=parameters,
+        scheme=scheme,
+        n_values=n_values,
+        rates=rates,
+        trials=trials,
+        theory_exponent=theory,
+        fit=fit,
+    )

@@ -1,0 +1,6 @@
+"""Torus geometry and square tessellations."""
+
+from .tessellation import SquareTessellation
+from .torus import pairwise_distances, torus_distance, wrap
+
+__all__ = ["SquareTessellation", "pairwise_distances", "torus_distance", "wrap"]

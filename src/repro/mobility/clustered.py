@@ -1,0 +1,130 @@
+"""The clustered home-point model (Definition 3).
+
+``m(n) = Theta(n^M)`` cluster centres are placed independently and uniformly
+on the unit torus; each of the ``n`` home-points picks a cluster uniformly at
+random and is then placed uniformly inside the cluster's disk of radius
+``r(n) = Theta(n^-R)``.
+
+``m = n`` (``M = 1``) degenerates to uniform home-points with no clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.torus import disk_sample, random_points, wrap
+
+__all__ = ["ClusteredHomePoints", "place_home_points", "zipf_weights"]
+
+
+@dataclass(frozen=True)
+class ClusteredHomePoints:
+    """A realisation of the clustered home-point model.
+
+    Attributes
+    ----------
+    centers:
+        Cluster centres, shape ``(m, 2)``.
+    assignment:
+        Cluster index of each home-point, shape ``(n,)``.
+    points:
+        Home-point coordinates, shape ``(n, 2)``.
+    radius:
+        Cluster radius ``r``.
+    """
+
+    centers: np.ndarray
+    assignment: np.ndarray
+    points: np.ndarray
+    radius: float
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of clusters ``m``."""
+        return self.centers.shape[0]
+
+    @property
+    def point_count(self) -> int:
+        """Number of home-points ``n``."""
+        return self.points.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Home-points per cluster, shape ``(m,)``."""
+        return np.bincount(self.assignment, minlength=self.cluster_count)
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Indices of home-points assigned to one cluster."""
+        return np.nonzero(self.assignment == cluster)[0]
+
+    def sample_more(self, rng: np.random.Generator, count: int) -> "ClusteredHomePoints":
+        """Draw ``count`` additional home-points from the *same* cluster
+        realisation (used to place base stations matched to the user
+        distribution, Section II-A)."""
+        assignment = rng.integers(0, self.cluster_count, size=count)
+        points = disk_sample(rng, self.centers[assignment], self.radius)
+        return ClusteredHomePoints(
+            centers=self.centers,
+            assignment=assignment,
+            points=points,
+            radius=self.radius,
+        )
+
+
+def place_home_points(
+    rng: np.random.Generator,
+    n: int,
+    m: int,
+    radius: float,
+    weights: Optional[np.ndarray] = None,
+) -> ClusteredHomePoints:
+    """Sample the clustered model: ``m`` centres, ``n`` home-points.
+
+    ``m = n`` with any radius reproduces (in distribution, up to the blur
+    within one disk) the uniform home-point model; pass ``radius`` close to
+    zero to make each point coincide with its own cluster centre.
+
+    ``weights`` (optional, shape ``(m,)``, non-negative) makes the cluster
+    choice non-uniform -- e.g. :func:`zipf_weights` models the preferential
+    attachment the paper's Remark 4 cites for real network formation.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one home-point, got n={n}")
+    if not (1 <= m):
+        raise ValueError(f"need at least one cluster, got m={m}")
+    if radius < 0:
+        raise ValueError(f"cluster radius must be non-negative, got {radius}")
+    centers = random_points(rng, m)
+    if weights is None:
+        assignment = rng.integers(0, m, size=n)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (m,):
+            raise ValueError(f"weights must have shape ({m},), got {weights.shape}")
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        assignment = rng.choice(m, size=n, p=weights / weights.sum())
+    if radius == 0:
+        points = centers[assignment].copy()
+    else:
+        points = disk_sample(rng, centers[assignment], radius)
+    return ClusteredHomePoints(
+        centers=centers, assignment=assignment, points=wrap(points), radius=radius
+    )
+
+
+def zipf_weights(m: int, exponent: float = 1.0) -> np.ndarray:
+    """Zipf cluster popularity ``w_i ∝ (i + 1)^-exponent``.
+
+    Models preferential attachment in cluster formation (Remark 4 of the
+    paper, after Alfano et al.'s inhomogeneous-density work): a few
+    clusters hold most of the users.
+    """
+    if m < 1:
+        raise ValueError(f"need at least one cluster, got {m}")
+    if exponent < 0:
+        raise ValueError(f"Zipf exponent must be non-negative, got {exponent}")
+    ranks = np.arange(1, m + 1, dtype=float)
+    return ranks ** -exponent

@@ -1,0 +1,229 @@
+"""Radial mobility shapes ``s(d)``.
+
+Definition 2 of the paper characterises each node's stationary spatial
+distribution around its home-point by an *arbitrary*, non-increasing function
+``s(d)`` with finite support: before normalisation,
+``phi_i(X) ~ s(||X - X_i^h||)``, and after scaling the network to the unit
+torus the distribution contracts by ``1/f(n)``.
+
+A shape object provides:
+
+- ``support_radius`` -- the constant ``D = sup{d : s(d) > 0}``;
+- ``density(d)`` -- the (unnormalised) radial profile ``s(d)``;
+- ``sample_offsets(rng, count, scale)`` -- i.i.d. draws from the normalised
+  2-D distribution ``phi(X) ∝ s(|X| / scale)`` (so ``scale = 1/f(n)``);
+- ``contact_kernel(d)`` -- the paper's
+  ``eta(|X0|) = ∫ s(|X - X0|) s(|X|) dX``, the unnormalised probability
+  density that two nodes whose home-points are ``d`` apart occupy the same
+  location; it drives the MS-MS link capacity (Corollary 1, eq. (6)).
+
+All shapes are validated to be non-increasing with finite support, matching
+the paper's assumptions.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "MobilityShape",
+    "UniformDiskShape",
+    "ConeShape",
+    "TruncatedGaussianShape",
+    "QuadraticDecayShape",
+]
+
+
+class MobilityShape(abc.ABC):
+    """Abstract radial profile ``s(d)`` (non-increasing, finite support)."""
+
+    #: Grid resolution for the numeric inverse-CDF sampler and kernels.
+    _GRID = 2048
+
+    def __init__(self):
+        self._radial_cdf_cache: Optional[tuple] = None
+        self._kernel_cache: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # abstract surface
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def support_radius(self) -> float:
+        """``D = sup{d : s(d) > 0}`` (a constant, independent of ``n``)."""
+
+    @abc.abstractmethod
+    def density(self, d: np.ndarray) -> np.ndarray:
+        """Unnormalised ``s(d)`` evaluated element-wise (zero outside support)."""
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def validate(self, samples: int = 512) -> None:
+        """Assert the paper's assumptions: non-negative, non-increasing,
+        finite support, strictly positive at zero."""
+        grid = np.linspace(0.0, self.support_radius, samples)
+        values = self.density(grid)
+        if np.any(values < 0):
+            raise ValueError(f"{type(self).__name__}: s(d) must be non-negative")
+        if np.any(np.diff(values) > 1e-9):
+            raise ValueError(f"{type(self).__name__}: s(d) must be non-increasing")
+        if values[0] <= 0:
+            raise ValueError(f"{type(self).__name__}: s(0) must be positive")
+        beyond = self.density(np.array([self.support_radius * 1.001 + 1e-9]))
+        if beyond[0] != 0:
+            raise ValueError(f"{type(self).__name__}: support must be finite")
+
+    def normalization(self) -> float:
+        """``∫_{R^2} s(|X|) dX = 2 pi ∫_0^D s(t) t dt`` (unit scale)."""
+        radii, cdf = self._radial_cdf()
+        return float(cdf[-1])
+
+    def _radial_cdf(self) -> tuple:
+        """Cached unnormalised radial mass ``2 pi ∫_0^rho s(t) t dt`` on a grid."""
+        if self._radial_cdf_cache is None:
+            radii = np.linspace(0.0, self.support_radius, self._GRID)
+            integrand = self.density(radii) * radii * 2.0 * math.pi
+            cdf = np.concatenate([[0.0], np.cumsum(
+                0.5 * (integrand[1:] + integrand[:-1]) * np.diff(radii)
+            )])
+            self._radial_cdf_cache = (radii, cdf)
+        return self._radial_cdf_cache
+
+    def sample_offsets(
+        self, rng: np.random.Generator, count: int, scale: float = 1.0
+    ) -> np.ndarray:
+        """``count`` i.i.d. offsets from ``phi(X) ∝ s(|X|/scale)``.
+
+        ``scale`` is the contraction factor ``1/f(n)``; the returned offsets
+        have shape ``(count, 2)`` and magnitude at most
+        ``scale * support_radius``.
+        """
+        radii, cdf = self._radial_cdf()
+        total = cdf[-1]
+        quantiles = rng.random(count) * total
+        rho = np.interp(quantiles, cdf, radii) * scale
+        angle = rng.random(count) * 2.0 * math.pi
+        return np.stack([rho * np.cos(angle), rho * np.sin(angle)], axis=-1)
+
+    def contact_kernel(self, d: np.ndarray) -> np.ndarray:
+        """``eta(d) = ∫ s(|X - (d,0)|) s(|X|) dX`` at unit scale.
+
+        Evaluated by 2-D quadrature on a cached grid; ``eta`` has support
+        ``[0, 2D]`` and ``eta(0) = ∫ s^2``.
+        """
+        table_d, table_eta = self._kernel_table()
+        return np.interp(np.asarray(d, dtype=float), table_d, table_eta, right=0.0)
+
+    def _kernel_table(self) -> tuple:
+        if self._kernel_cache is None:
+            big_d = self.support_radius
+            resolution = 192
+            axis = np.linspace(-big_d, big_d, resolution)
+            step = axis[1] - axis[0]
+            xx, yy = np.meshgrid(axis, axis)
+            base = self.density(np.sqrt(xx ** 2 + yy ** 2))
+            separations = np.linspace(0.0, 2.0 * big_d, 128)
+            values = np.empty_like(separations)
+            for idx, sep in enumerate(separations):
+                shifted = self.density(np.sqrt((xx - sep) ** 2 + yy ** 2))
+                values[idx] = float(np.sum(base * shifted)) * step * step
+            self._kernel_cache = (separations, values)
+        return self._kernel_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(D={self.support_radius})"
+
+
+class UniformDiskShape(MobilityShape):
+    """``s(d) = 1`` for ``d <= D``: the node is uniform on a disk around its
+    home-point.  This is the paper's canonical example and the special case
+    matching i.i.d. mobility when ``D`` covers the whole (pre-normalisation)
+    network."""
+
+    def __init__(self, support_radius: float = 1.0):
+        super().__init__()
+        if support_radius <= 0:
+            raise ValueError(f"support radius must be positive, got {support_radius}")
+        self._support = float(support_radius)
+
+    @property
+    def support_radius(self) -> float:
+        return self._support
+
+    def density(self, d: np.ndarray) -> np.ndarray:
+        d = np.asarray(d, dtype=float)
+        return np.where(d <= self._support, 1.0, 0.0)
+
+    def sample_offsets(self, rng, count, scale=1.0):
+        # Analytic sampler: uniform on the disk of radius scale * D.
+        radius = self._support * scale
+        angle = rng.random(count) * 2.0 * math.pi
+        rho = radius * np.sqrt(rng.random(count))
+        return np.stack([rho * np.cos(angle), rho * np.sin(angle)], axis=-1)
+
+
+class ConeShape(MobilityShape):
+    """``s(d) = max(0, 1 - d/D)``: linear decay to the support edge."""
+
+    def __init__(self, support_radius: float = 1.0):
+        super().__init__()
+        if support_radius <= 0:
+            raise ValueError(f"support radius must be positive, got {support_radius}")
+        self._support = float(support_radius)
+
+    @property
+    def support_radius(self) -> float:
+        return self._support
+
+    def density(self, d: np.ndarray) -> np.ndarray:
+        d = np.asarray(d, dtype=float)
+        return np.maximum(0.0, 1.0 - d / self._support)
+
+
+class TruncatedGaussianShape(MobilityShape):
+    """Gaussian profile truncated at ``D``: ``s(d) = exp(-d^2 / 2 sigma^2)``
+    for ``d <= D``, zero beyond."""
+
+    def __init__(self, support_radius: float = 1.0, sigma: float = 0.4):
+        super().__init__()
+        if support_radius <= 0 or sigma <= 0:
+            raise ValueError("support radius and sigma must be positive")
+        self._support = float(support_radius)
+        self._sigma = float(sigma)
+
+    @property
+    def support_radius(self) -> float:
+        return self._support
+
+    @property
+    def sigma(self) -> float:
+        """Gaussian width parameter."""
+        return self._sigma
+
+    def density(self, d: np.ndarray) -> np.ndarray:
+        d = np.asarray(d, dtype=float)
+        values = np.exp(-0.5 * (d / self._sigma) ** 2)
+        return np.where(d <= self._support, values, 0.0)
+
+
+class QuadraticDecayShape(MobilityShape):
+    """``s(d) = max(0, 1 - (d/D)^2)``: smooth parabolic decay."""
+
+    def __init__(self, support_radius: float = 1.0):
+        super().__init__()
+        if support_radius <= 0:
+            raise ValueError(f"support radius must be positive, got {support_radius}")
+        self._support = float(support_radius)
+
+    @property
+    def support_radius(self) -> float:
+        return self._support
+
+    def density(self, d: np.ndarray) -> np.ndarray:
+        d = np.asarray(d, dtype=float)
+        return np.maximum(0.0, 1.0 - (d / self._support) ** 2)

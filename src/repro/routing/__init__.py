@@ -1,0 +1,10 @@
+"""The paper's communication schemes (A, B, C) and the static baseline."""
+
+from .base import FlowResult, RoutingScheme
+from .scheme_a import SchemeA
+from .scheme_b import SchemeB
+from .scheme_c import SchemeC
+from .scheme_l import SchemeL
+from .static_multihop import StaticMultihop
+
+__all__ = ["FlowResult", "RoutingScheme", "SchemeA", "SchemeB", "SchemeC", "SchemeL", "StaticMultihop"]

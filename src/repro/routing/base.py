@@ -1,0 +1,56 @@
+"""Shared routing-scheme types.
+
+Every scheme exposes a *flow-level* analysis: given a realised network and
+the permutation traffic, compute the largest uniform per-node rate ``lambda``
+the scheme can sustain, together with the binding constraint.  The flow
+analyses mirror the achievability proofs of the paper (Lemma 5, Theorem 5,
+Theorem 7, Theorem 9): routes are fixed by the scheme, loads are accumulated
+per resource, and the sustainable rate is the minimum capacity/load ratio.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..simulation.traffic import PermutationTraffic
+
+__all__ = ["FlowResult", "RoutingScheme"]
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Outcome of a flow-level sustainable-rate computation.
+
+    Attributes
+    ----------
+    per_node_rate:
+        Largest sustainable uniform rate ``lambda`` (bits/slot, with the
+        wireless bandwidth normalised to ``W = 1``).  Zero when the scheme
+        cannot serve some session at all (e.g. a disconnected pair).
+    bottleneck:
+        Short machine-readable tag of the binding constraint
+        (e.g. ``"cell-edge"``, ``"access"``, ``"backbone"``).
+    details:
+        Scheme-specific diagnostics (per-phase rates, worst resources, ...).
+    """
+
+    per_node_rate: float
+    bottleneck: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.per_node_rate < 0:
+            raise ValueError(f"rate must be non-negative, got {self.per_node_rate}")
+
+
+class RoutingScheme(abc.ABC):
+    """A communication scheme with a flow-level capacity analysis."""
+
+    @abc.abstractmethod
+    def sustainable_rate(self, traffic: "PermutationTraffic") -> FlowResult:
+        """Largest uniform per-node rate this scheme sustains for ``traffic``."""

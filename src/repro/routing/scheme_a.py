@@ -1,0 +1,222 @@
+"""Optimal routing scheme A (Definition 11) -- the mobility route.
+
+The torus is tessellated into squarelets of side ``Theta(1/f(n))`` (matching
+the mobility radius, so nodes whose home-points sit in adjacent squarelets
+meet with the contact probability of Corollary 1).  A session's traffic is
+forwarded squarelet-by-squarelet, first horizontally to the destination's
+column, then vertically (Manhattan routing); at each hop a node whose
+home-point lies in the next squarelet is used as relay.  Lemma 5 shows this
+sustains ``lambda = Theta(1/f(n))`` in uniformly dense networks.
+
+The flow analysis follows the lower-bound proof: the aggregate link capacity
+between two adjacent squarelets is the sum of the Corollary-1 pair
+capacities across them, the load is ``lambda`` times the number of sessions
+routed through that squarelet boundary, and the sustainable rate is the
+worst capacity/load ratio (plus per-session first/last-hop constraints).
+Capacities are computed block-wise per squarelet pair, never as a full
+``n x n`` matrix, so the analysis scales to tens of thousands of nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..geometry.tessellation import SquareTessellation
+from ..geometry.torus import pairwise_distances
+from ..mobility.shapes import MobilityShape
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..simulation.traffic import PermutationTraffic
+from ..wireless.link_capacity import contact_probability_ms_ms
+from .base import FlowResult, RoutingScheme
+
+__all__ = ["SchemeA"]
+
+CellEdge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class _Instance:
+    tessellation: SquareTessellation
+    home_cell: np.ndarray
+    members: List[np.ndarray]
+
+
+class SchemeA(RoutingScheme):
+    """Squarelet Manhattan routing over the mobility pattern.
+
+    Parameters
+    ----------
+    home_points:
+        MS home-points, shape ``(n, 2)``.
+    shape:
+        The mobility shape ``s(d)``.
+    f:
+        Network scaling factor ``f(n)``; mobility radius is
+        ``shape.support_radius / f``.
+    c_t:
+        Range constant of policy ``S*``.
+    cell_fraction:
+        Squarelet side as a fraction of the mobility radius ``D/f``
+        (``Theta(1)``; default 0.7 keeps adjacent-squarelet home-points well
+        inside contact range).
+    """
+
+    def __init__(
+        self,
+        home_points: np.ndarray,
+        shape: MobilityShape,
+        f: float,
+        c_t: float = 1.0,
+        cell_fraction: float = 0.7,
+    ):
+        if f < 1.0:
+            raise ValueError(f"need f >= 1 (alpha >= 0), got {f}")
+        if not (0 < cell_fraction <= 2.0):
+            raise ValueError(f"cell_fraction must be in (0, 2], got {cell_fraction}")
+        self._home = np.atleast_2d(np.asarray(home_points, dtype=float))
+        self._shape = shape
+        self._f = float(f)
+        self._c_t = float(c_t)
+        target_side = cell_fraction * shape.support_radius / f
+        cells_per_side = max(1, int(math.floor(1.0 / min(target_side, 1.0))))
+        tess = SquareTessellation(cells_per_side)
+        home_cell = tess.cell_of(self._home)
+        self._instance = _Instance(
+            tessellation=tess, home_cell=home_cell, members=tess.members(self._home)
+        )
+        self._edge_capacity_cache: Dict[CellEdge, float] = {}
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def tessellation(self) -> SquareTessellation:
+        """The squarelet grid used for routing."""
+        return self._instance.tessellation
+
+    @property
+    def node_count(self) -> int:
+        """Number of mobile stations."""
+        return self._home.shape[0]
+
+    def cell_route(self, source: int, destination: int) -> List[int]:
+        """The Manhattan squarelet route of one session (cells, inclusive)."""
+        cells = self._instance.home_cell
+        return self._instance.tessellation.manhattan_route(
+            int(cells[source]), int(cells[destination])
+        )
+
+    def relay_candidates(self, cell: int) -> np.ndarray:
+        """MS indices whose home-point lies in the given squarelet."""
+        return self._instance.members[cell]
+
+    # ------------------------------------------------------------------
+    # link capacities (block-wise Corollary 1)
+    # ------------------------------------------------------------------
+    def _mu_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Corollary-1 MS-MS capacities between two index sets."""
+        distances = pairwise_distances(self._home[rows], self._home[cols])
+        mu = contact_probability_ms_ms(
+            self._shape, self._f, self.node_count, distances, self._c_t
+        )
+        return mu
+
+    def cell_edge_capacity(self, cell_from: int, cell_to: int) -> float:
+        """Aggregate link capacity across one squarelet boundary.
+
+        Sum of the pairwise Corollary-1 capacities between home-points of
+        the two squarelets, halved: ``S*`` splits each enabled pair's
+        bandwidth between the two directions, so the directed capacity is
+        ``mu / 2``.  Cached per unordered pair (it is symmetric).
+        """
+        key = (min(cell_from, cell_to), max(cell_from, cell_to))
+        cached = self._edge_capacity_cache.get(key)
+        if cached is not None:
+            return cached
+        members_from = self._instance.members[cell_from]
+        members_to = self._instance.members[cell_to]
+        if members_from.size == 0 or members_to.size == 0:
+            value = 0.0
+        else:
+            block = self._mu_block(members_from, members_to)
+            if cell_from == cell_to:
+                # exclude self-pairs when both endpoints share the squarelet
+                np.fill_diagonal(block, 0.0)
+            value = 0.5 * float(block.sum())
+        self._edge_capacity_cache[key] = value
+        return value
+
+    def _endpoint_capacity(self, node: int, cell: int, outgoing: bool) -> float:
+        """Capacity from a node into (or out of) one squarelet's relays."""
+        members = self._instance.members[cell]
+        members = members[members != node]
+        if members.size == 0:
+            return 0.0
+        block = self._mu_block(np.array([node]), members)
+        return 0.5 * float(block.sum())
+
+    # ------------------------------------------------------------------
+    # flow analysis (Lemma 5)
+    # ------------------------------------------------------------------
+    def sustainable_rate(self, traffic: "PermutationTraffic") -> FlowResult:
+        if traffic.session_count != self.node_count:
+            raise ValueError(
+                f"traffic has {traffic.session_count} sessions but the network "
+                f"has {self.node_count} MSs"
+            )
+        edge_load: Dict[CellEdge, int] = {}
+        per_session_caps: List[float] = []
+        total_hops = 0
+        for source, dest in traffic.pairs():
+            route = self.cell_route(source, dest)
+            total_hops += max(1, len(route) - 1)
+            for cell_from, cell_to in zip(route, route[1:]):
+                edge = (cell_from, cell_to)
+                edge_load[edge] = edge_load.get(edge, 0) + 1
+            # first hop: source node into the first relay squarelet;
+            # last hop: relays in the squarelet before the destination's
+            if len(route) > 1:
+                first_cap = self._endpoint_capacity(source, route[1], outgoing=True)
+                last_cap = self._endpoint_capacity(dest, route[-2], outgoing=False)
+                per_session_caps.append(min(first_cap, last_cap))
+            else:
+                # source and destination share a squarelet: direct contact or
+                # a same-cell two-hop relay
+                direct = 0.5 * float(self._mu_block(
+                    np.array([source]), np.array([dest])
+                )[0, 0])
+                relayed = min(
+                    self._endpoint_capacity(source, route[0], outgoing=True),
+                    self._endpoint_capacity(dest, route[0], outgoing=False),
+                )
+                per_session_caps.append(max(direct, relayed))
+        # squarelet-boundary constraint
+        edge_rate = math.inf
+        worst_edge = None
+        for edge, load in edge_load.items():
+            capacity = self.cell_edge_capacity(*edge)
+            rate = capacity / load
+            if rate < edge_rate:
+                edge_rate, worst_edge = rate, edge
+        session_rate = min(per_session_caps) if per_session_caps else math.inf
+        rate = min(edge_rate, session_rate)
+        if not math.isfinite(rate):
+            rate = 0.0
+        bottleneck = "cell-edge" if edge_rate <= session_rate else "session-endpoint"
+        return FlowResult(
+            per_node_rate=max(0.0, rate),
+            bottleneck=bottleneck,
+            details={
+                "edge_rate": edge_rate,
+                "session_rate": session_rate,
+                "worst_edge": worst_edge,
+                "mean_route_hops": total_hops / max(1, traffic.session_count),
+                "cells_per_side": self._instance.tessellation.cells_per_side,
+            },
+        )

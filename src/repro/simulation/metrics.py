@@ -1,0 +1,61 @@
+"""Summary statistics of a packet-level simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SimulationMetrics"]
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Cumulative counters from a :class:`SlottedSimulator` run."""
+
+    slots: int
+    ms_count: int
+    created: int
+    delivered: int
+    in_flight: int
+    delays: np.ndarray
+    hop_counts: np.ndarray
+    offered_load: float
+
+    @property
+    def per_node_throughput(self) -> float:
+        """Delivered packets per slot per MS -- the measured ``lambda``."""
+        if self.slots == 0:
+            return 0.0
+        return self.delivered / (self.slots * self.ms_count)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of created packets delivered so far."""
+        if self.created == 0:
+            return 0.0
+        return self.delivered / self.created
+
+    @property
+    def mean_delay(self) -> float:
+        """Average slots from creation to delivery (nan when nothing was
+        delivered)."""
+        if self.delays.size == 0:
+            return float("nan")
+        return float(self.delays.mean())
+
+    @property
+    def mean_hops(self) -> float:
+        """Average wireless hops per delivered packet (nan when nothing was
+        delivered)."""
+        if self.hop_counts.size == 0:
+            return float("nan")
+        return float(self.hop_counts.mean())
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"slots={self.slots} created={self.created} delivered={self.delivered} "
+            f"in_flight={self.in_flight} throughput={self.per_node_throughput:.3e} "
+            f"delay={self.mean_delay:.1f} hops={self.mean_hops:.1f}"
+        )

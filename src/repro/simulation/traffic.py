@@ -1,0 +1,67 @@
+"""Traffic model: uniform permutation pairs (Section II-B).
+
+``n`` source-destination pairs exchange data at a common rate ``lambda``;
+pair selection ensures every MS is both a source and a destination exactly
+once.  BSs are pure relays and never appear in the traffic matrix.
+
+We realise the model with a uniformly random cyclic permutation, which is the
+standard construction: it is fixed-point-free (no node talks to itself) and
+every node has in-degree and out-degree one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["PermutationTraffic", "permutation_traffic"]
+
+
+@dataclass(frozen=True)
+class PermutationTraffic:
+    """The permutation traffic pattern: ``destination[i]`` is the peer of MS ``i``."""
+
+    destination: np.ndarray
+
+    def __post_init__(self):
+        destination = np.asarray(self.destination)
+        n = destination.shape[0]
+        if n < 2:
+            raise ValueError(f"permutation traffic needs n >= 2, got {n}")
+        if sorted(destination.tolist()) != list(range(n)):
+            raise ValueError("destinations must form a permutation of 0..n-1")
+        if np.any(destination == np.arange(n)):
+            raise ValueError("no node may be its own destination")
+
+    @property
+    def session_count(self) -> int:
+        """Number of sessions (= number of MSs)."""
+        return self.destination.shape[0]
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(source, destination)`` pairs."""
+        for source, dest in enumerate(self.destination.tolist()):
+            yield source, dest
+
+    def traffic_matrix(self) -> np.ndarray:
+        """The 0/1 matrix ``Lambda = [lambda_sd]`` of Section II-B."""
+        n = self.session_count
+        matrix = np.zeros((n, n), dtype=int)
+        matrix[np.arange(n), self.destination] = 1
+        return matrix
+
+
+def permutation_traffic(rng: np.random.Generator, n: int) -> PermutationTraffic:
+    """Sample a uniform random cyclic permutation on ``n`` MSs.
+
+    Cyclic permutations are fixed-point-free, so the result always satisfies
+    the model's "every MS is both source and destination" requirement.
+    """
+    if n < 2:
+        raise ValueError(f"permutation traffic needs n >= 2, got {n}")
+    cycle = rng.permutation(n)
+    destination = np.empty(n, dtype=int)
+    destination[cycle] = np.roll(cycle, -1)
+    return PermutationTraffic(destination=destination)

@@ -1,0 +1,101 @@
+"""Log-log slope estimation for scaling-law verification.
+
+All of the paper's results are order statements ``lambda(n) = Theta(n^e
+log^b n)``.  The benchmarks measure ``lambda`` on a geometric grid of ``n``
+and estimate the polynomial exponent ``e`` by least squares on
+``(log n, log lambda)``.  Because finite-size effects and neglected log
+factors bend the line, the fit also reports the standard error and the
+coefficient of determination so callers can set honest tolerances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "geometric_grid"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y ~ C * x^exponent``."""
+
+    exponent: float
+    log_intercept: float
+    r_squared: float
+    stderr: float
+    points: int
+
+    @property
+    def prefactor(self) -> float:
+        """The fitted constant ``C``."""
+        return math.exp(self.log_intercept)
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted power law."""
+        return self.prefactor * x ** self.exponent
+
+    def matches(self, expected_exponent: float, tolerance: float) -> bool:
+        """Whether the fitted exponent is within ``tolerance`` of theory."""
+        return abs(self.exponent - expected_exponent) <= tolerance
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"slope={self.exponent:+.3f} (±{self.stderr:.3f}, R²={self.r_squared:.3f}, "
+            f"{self.points} pts)"
+        )
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit ``log y = exponent * log x + b`` by ordinary least squares.
+
+    Raises ``ValueError`` on fewer than two points or non-positive data
+    (a zero measurement means the scheme failed outright; callers should
+    handle that before fitting).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if x.size < 2:
+        raise ValueError(f"need at least two points, got {x.size}")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fitting requires positive data")
+    log_x = np.log(x)
+    log_y = np.log(y)
+    design = np.stack([log_x, np.ones_like(log_x)], axis=1)
+    coeffs, residuals, _, _ = np.linalg.lstsq(design, log_y, rcond=None)
+    slope, intercept = float(coeffs[0]), float(coeffs[1])
+    predicted = design @ coeffs
+    total = float(np.sum((log_y - log_y.mean()) ** 2))
+    residual = float(np.sum((log_y - predicted) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    if x.size > 2:
+        variance = residual / (x.size - 2)
+        denom = float(np.sum((log_x - log_x.mean()) ** 2))
+        stderr = math.sqrt(variance / denom) if denom > 0 else math.inf
+    else:
+        stderr = 0.0
+    return PowerLawFit(
+        exponent=slope,
+        log_intercept=intercept,
+        r_squared=r_squared,
+        stderr=stderr,
+        points=int(x.size),
+    )
+
+
+def geometric_grid(start: int, stop: int, points: int) -> np.ndarray:
+    """``points`` integers geometrically spaced in ``[start, stop]``
+    (deduplicated, ascending)."""
+    if start < 1 or stop < start:
+        raise ValueError(f"need 1 <= start <= stop, got [{start}, {stop}]")
+    if points < 2:
+        raise ValueError(f"need at least two points, got {points}")
+    grid = np.unique(
+        np.round(np.geomspace(start, stop, points)).astype(int)
+    )
+    return grid

@@ -1,0 +1,32 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness reports paper-style rows (Table I, figure series) on
+stdout; this keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+    a  | b
+    ---+---
+    1  | x
+    22 | yy
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    cells.extend([str(value) for value in row] for row in rows)
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        padded = [value.ljust(width) for value, width in zip(row, widths)]
+        lines.append(" | ".join(padded).rstrip())
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Connectivity criteria (Gupta-Kumar critical range; Lemma 10).
+
+For ``n`` uniformly placed static nodes the critical transmission range for
+asymptotic connectivity is ``sqrt(log n / (pi n))`` [Gupta & Kumar 1998].
+The paper reuses this in two places:
+
+- ``gamma(n) = log m / m`` is the *squared* critical range when the ``m``
+  cluster centres are viewed as static nodes (Theorem 1, Lemma 10);
+- ``gamma_tilde(n)`` is its in-cluster analogue for ``n/m`` nodes confined to
+  radius ``r``.
+
+This module provides the critical range, exact connectivity checks via
+union-find, and the minimum connecting range (the longest edge of the
+Euclidean minimum spanning tree, computed on torus distances).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.sparse.csgraph import connected_components, minimum_spanning_tree
+
+from ..geometry.torus import pairwise_distances
+
+__all__ = [
+    "critical_range",
+    "is_connected",
+    "minimum_connecting_range",
+    "connected_component_count",
+]
+
+
+def critical_range(n: int) -> float:
+    """Gupta-Kumar critical transmission range ``sqrt(log n / (pi n))``."""
+    if n < 2:
+        raise ValueError(f"need at least two nodes, got {n}")
+    return math.sqrt(math.log(n) / (math.pi * n))
+
+
+def _adjacency(positions: np.ndarray, transmission_range: float) -> np.ndarray:
+    distances = pairwise_distances(np.atleast_2d(np.asarray(positions, dtype=float)))
+    adjacency = (distances <= transmission_range).astype(float)
+    np.fill_diagonal(adjacency, 0.0)
+    return adjacency
+
+
+def connected_component_count(positions: np.ndarray, transmission_range: float) -> int:
+    """Number of connected components of the unit-disk graph at range ``R_T``."""
+    if transmission_range <= 0:
+        raise ValueError(f"range must be positive, got {transmission_range}")
+    adjacency = _adjacency(positions, transmission_range)
+    count, _ = connected_components(adjacency, directed=False)
+    return int(count)
+
+
+def is_connected(positions: np.ndarray, transmission_range: float) -> bool:
+    """Whether the unit-disk graph at range ``R_T`` is connected."""
+    return connected_component_count(positions, transmission_range) == 1
+
+
+def minimum_connecting_range(positions: np.ndarray) -> float:
+    """Smallest ``R_T`` making the unit-disk graph connected.
+
+    Equals the longest edge of the Euclidean (torus-metric) minimum spanning
+    tree.
+    """
+    positions = np.atleast_2d(np.asarray(positions, dtype=float))
+    if positions.shape[0] < 2:
+        return 0.0
+    distances = pairwise_distances(positions)
+    tree = minimum_spanning_tree(distances)
+    return float(tree.data.max())

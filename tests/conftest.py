@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng2():
+    """A second independent generator for tests needing two streams."""
+    return np.random.default_rng(67890)

@@ -1,0 +1,95 @@
+"""Unit tests for Backbone.spread_scale (the closed-form Phase II solver)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.infrastructure.backbone import Backbone, BackboneTopology
+
+
+class TestFullMeshClosedForm:
+    def test_single_pair(self):
+        backbone = Backbone(4, edge_capacity=2.0)
+        zone = [0, 0, 1, 1]
+        scale = backbone.spread_scale(zone, {(0, 1): 8.0})
+        # 8.0 spread over 2*2 wires -> 2.0 per wire, capacity 2.0 -> scale 1
+        assert scale == pytest.approx(1.0)
+
+    def test_bidirectional_flows_share_wires(self):
+        backbone = Backbone(4, edge_capacity=1.0)
+        zone = [0, 0, 1, 1]
+        one_way = backbone.spread_scale(zone, {(0, 1): 4.0})
+        two_way = backbone.spread_scale(zone, {(0, 1): 4.0, (1, 0): 4.0})
+        assert two_way == pytest.approx(one_way / 2.0)
+
+    def test_no_flow_is_infinite(self):
+        backbone = Backbone(3, 1.0)
+        assert backbone.spread_scale([0, 1, 2], {}) == math.inf
+
+    def test_intra_zone_flow_ignored(self):
+        backbone = Backbone(4, 1.0)
+        zone = [0, 0, 1, 1]
+        assert backbone.spread_scale(zone, {(0, 0): 100.0}) == math.inf
+
+    def test_zone_without_bs_gives_zero(self):
+        backbone = Backbone(2, 1.0)
+        zone = [0, 0]
+        assert backbone.spread_scale(zone, {(0, 1): 1.0}) == 0.0
+
+    def test_wrong_assignment_length(self):
+        backbone = Backbone(3, 1.0)
+        with pytest.raises(ValueError):
+            backbone.spread_scale([0, 1], {(0, 1): 1.0})
+
+    def test_matches_explicit_spread_flow(self):
+        """The closed form must agree with explicit per-wire accounting."""
+        rng = np.random.default_rng(4)
+        k, zones = 12, 3
+        zone = rng.integers(0, zones, k)
+        flows = {}
+        for za in range(zones):
+            for zb in range(zones):
+                if za != zb:
+                    flows[(za, zb)] = float(rng.integers(1, 5))
+        mesh = Backbone(k, edge_capacity=1.5)
+        closed = mesh.spread_scale(zone.tolist(), flows)
+        # explicit accounting on a second instance
+        explicit = Backbone(k, edge_capacity=1.5)
+        bs_by_zone = {z: np.nonzero(zone == z)[0].tolist() for z in range(zones)}
+        for (za, zb), rate in flows.items():
+            explicit.spread_flow(bs_by_zone[za], bs_by_zone[zb], rate)
+        assert closed == pytest.approx(explicit.sustainable_scale())
+
+    def test_scale_proportional_to_capacity(self):
+        zone = [0, 0, 1, 1]
+        flows = {(0, 1): 3.0}
+        slow = Backbone(4, edge_capacity=1.0).spread_scale(zone, flows)
+        fast = Backbone(4, edge_capacity=4.0).spread_scale(zone, flows)
+        assert fast == pytest.approx(4.0 * slow)
+
+
+class TestSparseTopologyFallback:
+    @pytest.mark.parametrize(
+        "topology",
+        [BackboneTopology.RING, BackboneTopology.GRID, BackboneTopology.STAR],
+    )
+    def test_matches_explicit_accounting(self, topology):
+        k, zones = 8, 2
+        zone = [i % zones for i in range(k)]
+        flows = {(0, 1): 2.0, (1, 0): 1.0}
+        via_scale = Backbone(k, 1.0, topology).spread_scale(zone, flows)
+        explicit = Backbone(k, 1.0, topology)
+        bs_by_zone = {z: [i for i in range(k) if zone[i] == z] for z in range(zones)}
+        for (za, zb), rate in flows.items():
+            explicit.spread_flow(bs_by_zone[za], bs_by_zone[zb], rate)
+        assert via_scale == pytest.approx(explicit.sustainable_scale())
+
+    def test_mesh_beats_sparse(self):
+        k = 16
+        zone = [i % 2 for i in range(k)]
+        flows = {(0, 1): 1.0, (1, 0): 1.0}
+        mesh = Backbone(k, 1.0).spread_scale(zone, flows)
+        for topology in (BackboneTopology.RING, BackboneTopology.GRID):
+            sparse = Backbone(k, 1.0, topology).spread_scale(zone, flows)
+            assert mesh > sparse

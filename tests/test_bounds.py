@@ -1,0 +1,159 @@
+"""Unit tests for the converse machinery (Lemma 6 / 7 / 8, Theorem 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    access_upper_bound,
+    combined_upper_bound,
+    cut_upper_bound,
+    horizontal_strip,
+    vertical_strip,
+)
+from repro.core.regimes import NetworkParameters
+from repro.mobility.shapes import UniformDiskShape
+from repro.simulation.network import HybridNetwork
+from repro.simulation.traffic import PermutationTraffic, permutation_traffic
+
+SHAPE = UniformDiskShape(1.0)
+
+
+class TestMembership:
+    def test_vertical_strip_halves(self, rng):
+        points = rng.random((1000, 2))
+        mask = vertical_strip(0.0)(points)
+        assert 0.4 < mask.mean() < 0.6
+        assert np.all(mask == (points[:, 0] < 0.5))
+
+    def test_vertical_strip_wraps(self):
+        strip = vertical_strip(0.75)
+        assert strip(np.array([[0.8, 0.5]]))[0]
+        assert strip(np.array([[0.1, 0.5]]))[0]
+        assert not strip(np.array([[0.5, 0.5]]))[0]
+
+    def test_horizontal_strip(self):
+        strip = horizontal_strip(0.0)
+        assert strip(np.array([[0.9, 0.2]]))[0]
+        assert not strip(np.array([[0.9, 0.7]]))[0]
+
+
+class TestCutUpperBound:
+    def test_structure(self, rng):
+        n = 200
+        homes = rng.random((n, 2))
+        traffic = permutation_traffic(rng, n)
+        cut = cut_upper_bound(homes, traffic, SHAPE, 3.0, vertical_strip(0.0))
+        assert cut.bound > 0
+        assert cut.wireless_ms_ms > 0
+        assert cut.wired_bs_bs == 0.0
+        assert 0 < cut.crossing_sessions < n
+        assert cut.numerator == pytest.approx(cut.wireless_ms_ms)
+
+    def test_wires_add_capacity(self, rng):
+        n = 200
+        homes = rng.random((n, 2))
+        bs = rng.random((20, 2))
+        traffic = permutation_traffic(rng, n)
+        without = cut_upper_bound(homes, traffic, SHAPE, 3.0, vertical_strip(0.0))
+        with_wires = cut_upper_bound(
+            homes, traffic, SHAPE, 3.0, vertical_strip(0.0),
+            bs_positions=bs, wire_capacity=0.5,
+        )
+        assert with_wires.bound > without.bound
+        # all in/out BS pairs wired: k_in * k_out * c
+        bs_in = int(np.sum(bs[:, 0] < 0.5))
+        assert with_wires.wired_bs_bs == pytest.approx(
+            bs_in * (20 - bs_in) * 0.5
+        )
+
+    def test_no_crossing_sessions_is_infinite(self):
+        homes = np.array([[0.1, 0.1], [0.2, 0.2]])
+        traffic = PermutationTraffic(np.array([1, 0]))
+        cut = cut_upper_bound(homes, traffic, SHAPE, 2.0, vertical_strip(0.0))
+        assert cut.bound == float("inf")
+
+    def test_session_count_mismatch(self, rng):
+        homes = rng.random((10, 2))
+        with pytest.raises(ValueError):
+            cut_upper_bound(
+                homes, permutation_traffic(rng, 5), SHAPE, 2.0, vertical_strip(0.0)
+            )
+
+    def test_mobility_cut_scales_as_one_over_f(self, rng):
+        """The wireless cut numerator tracks Theta(n/f) (Lemma 4 via the
+        cut argument), so the bound tracks Theta(1/f)."""
+        n = 1200
+        homes = np.random.default_rng(0).random((n, 2))
+        traffic = permutation_traffic(np.random.default_rng(1), n)
+        low_f = cut_upper_bound(homes, traffic, SHAPE, 3.0, vertical_strip(0.0))
+        high_f = cut_upper_bound(homes, traffic, SHAPE, 12.0, vertical_strip(0.0))
+        ratio = low_f.bound / high_f.bound
+        assert 2.0 < ratio < 8.0  # ideal 4.0
+
+
+class TestAccessBound:
+    def test_formula(self):
+        assert access_upper_bound(100, 10) == pytest.approx(0.05)
+
+    def test_scales_with_bandwidth(self):
+        assert access_upper_bound(100, 10, wireless_bandwidth=2.0) == \
+            pytest.approx(0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            access_upper_bound(0, 1)
+
+
+class TestTheorem4Validity:
+    """The combined bound must dominate every achievable scheme rate."""
+
+    @pytest.mark.parametrize(
+        "params_kwargs, scheme",
+        [
+            (dict(alpha="1/4", cluster_exponent=1), "A"),
+            (
+                dict(alpha="1/4", cluster_exponent=1, bs_exponent="7/8",
+                     backbone_exponent=1),
+                "B",
+            ),
+        ],
+        ids=["mobility", "infrastructure"],
+    )
+    def test_bound_dominates_achieved(self, params_kwargs, scheme):
+        params = NetworkParameters(**params_kwargs)
+        rng = np.random.default_rng(3)
+        net = HybridNetwork.build(params, 500, rng)
+        traffic = net.sample_traffic()
+        bounds = combined_upper_bound(
+            net.home_model.points,
+            traffic,
+            net.shape,
+            net.realized.f,
+            bs_positions=net.bs_positions,
+            wire_capacity=net.realized.c or 0.0,
+            c_t=net.c_t,
+        )
+        if scheme == "A":
+            achieved = net.scheme_a().sustainable_rate(traffic).per_node_rate
+        else:
+            achieved = net.scheme_b().sustainable_rate(traffic).per_node_rate
+        assert achieved <= bounds["bound"]
+        assert bounds["bound"] < float("inf")
+
+    def test_access_term_caps_infrastructure(self):
+        """With enormous wire capacity the cut alone is useless; the access
+        cap keeps the bound finite and k/n-sized."""
+        params = NetworkParameters(
+            alpha="1/4", cluster_exponent=1, bs_exponent="7/8",
+            backbone_exponent=2,  # mu_c = n^2: absurdly rich wires
+        )
+        rng = np.random.default_rng(5)
+        net = HybridNetwork.build(params, 400, rng)
+        traffic = net.sample_traffic()
+        bounds = combined_upper_bound(
+            net.home_model.points, traffic, net.shape, net.realized.f,
+            bs_positions=net.bs_positions, wire_capacity=net.realized.c,
+            c_t=net.c_t,
+        )
+        assert bounds["bound"] <= bounds["wireless_cut"] + bounds["access"]
+        assert bounds["bound"] < bounds["cut"]

@@ -1,0 +1,219 @@
+"""Unit tests for the closed-form capacity results (Table I, Theorems 3-9)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.capacity import (
+    Bottleneck,
+    Scheme,
+    analyze,
+    capacity_lower_bound,
+    capacity_upper_bound,
+    infrastructure_capacity,
+    mobility_capacity,
+    no_infrastructure_capacity,
+    optimal_backbone_exponent,
+    optimal_scheme,
+    optimal_transmission_range,
+    per_node_capacity,
+)
+from repro.core.order import Order
+from repro.core.regimes import InvalidParameters, NetworkParameters
+
+
+def params(**kwargs):
+    kwargs.setdefault("alpha", "1/4")
+    kwargs.setdefault("cluster_exponent", 1)
+    return NetworkParameters(**kwargs)
+
+
+WEAK = dict(alpha="1/2", cluster_exponent="1/2", cluster_radius_exponent="1/2")
+TRIVIAL = dict(
+    alpha="3/4",
+    cluster_exponent="1/2",
+    cluster_radius_exponent="3/8",
+    validate=False,
+)
+
+
+class TestMobilityTerm:
+    def test_theorem3(self):
+        # strong mobility without BSs: Theta(1/f)
+        assert mobility_capacity(params()) == Order("-1/4")
+
+    def test_dense_network_constant(self):
+        assert mobility_capacity(params(alpha=0)) == Order.one()
+
+
+class TestInfrastructureTerm:
+    def test_access_limited(self):
+        # phi = 1: min(k^2c/n, k/n) = k/n
+        family = params(bs_exponent="7/8", backbone_exponent=1)
+        assert infrastructure_capacity(family) == Order("-1/8")
+
+    def test_backbone_limited(self):
+        # phi = -1/4 < 0: min = n^{K + phi - 1} = n^{7/8 - 1/4 - 1}
+        family = params(bs_exponent="7/8", backbone_exponent="-1/4")
+        assert infrastructure_capacity(family) == Order("-3/8")
+
+    def test_switch_exactly_at_phi_zero(self):
+        at_zero = params(bs_exponent="7/8", backbone_exponent=0)
+        assert infrastructure_capacity(at_zero) == Order("-1/8")
+
+    def test_requires_infrastructure(self):
+        with pytest.raises(InvalidParameters):
+            infrastructure_capacity(params())
+
+
+class TestNoInfrastructureCapacity:
+    def test_strong_regime(self):
+        assert no_infrastructure_capacity(params()) == Order("-1/4")
+
+    def test_weak_regime_corollary3(self):
+        # sqrt(m / (n^2 log m)) with M=1/2: exponent (1/2-2)/2 = -3/4
+        family = NetworkParameters(**WEAK)
+        capacity = no_infrastructure_capacity(family)
+        assert capacity.poly_exponent == Fraction(-3, 4)
+        assert capacity.log_exponent == Fraction(-1, 2)
+
+    def test_boundary_rejected(self):
+        family = NetworkParameters(
+            alpha="1/2",
+            cluster_exponent="1/2",
+            cluster_radius_exponent="1/4",
+            validate=False,
+        )
+        with pytest.raises(InvalidParameters):
+            no_infrastructure_capacity(family)
+
+
+class TestPerNodeCapacity:
+    def test_strong_with_bs_mobility_dominant(self):
+        family = params(bs_exponent="1/2", backbone_exponent=1)
+        # max(n^-1/4, n^-1/2) = n^-1/4
+        assert per_node_capacity(family) == Order("-1/4")
+
+    def test_strong_with_bs_infrastructure_dominant(self):
+        family = params(bs_exponent="7/8", backbone_exponent=1)
+        assert per_node_capacity(family) == Order("-1/8")
+
+    def test_weak_with_bs_theorem7(self):
+        family = NetworkParameters(bs_exponent="3/4", backbone_exponent=1, **WEAK)
+        assert per_node_capacity(family) == Order("-1/4")
+
+    def test_trivial_with_bs_theorem9(self):
+        family = NetworkParameters(bs_exponent="3/4", backbone_exponent=1, **TRIVIAL)
+        assert per_node_capacity(family) == Order("-1/4")
+
+    def test_weak_capacity_ignores_mobility_term(self):
+        # in the weak regime 1/f does NOT appear even if larger: with a
+        # starved backbone (phi = -1/2) the capacity drops to K + phi - 1
+        # = -3/4, strictly below 1/f = n^{-1/2}
+        family = NetworkParameters(bs_exponent="3/4", backbone_exponent="-1/2", **WEAK)
+        assert per_node_capacity(family) == Order("-3/4")
+        assert per_node_capacity(family) < family.f.reciprocal()
+
+    def test_bounds_are_tight(self):
+        family = params(bs_exponent="7/8")
+        assert capacity_upper_bound(family) == capacity_lower_bound(family)
+
+
+class TestOptimalRange:
+    def test_strong(self):
+        assert optimal_transmission_range(params()) == Order("-1/2")
+
+    def test_weak_no_bs(self):
+        family = NetworkParameters(**WEAK)
+        expected = family.gamma.sqrt()
+        assert optimal_transmission_range(family) == expected
+
+    def test_weak_with_bs(self):
+        family = NetworkParameters(bs_exponent="3/4", backbone_exponent=1, **WEAK)
+        # r * sqrt(m/n) = n^{-1/2} * n^{-1/4} = n^{-3/4}
+        assert optimal_transmission_range(family) == Order("-3/4")
+
+    def test_trivial_with_bs(self):
+        family = NetworkParameters(bs_exponent="3/4", backbone_exponent=1, **TRIVIAL)
+        # r * sqrt(m/k) = n^{-3/8} * n^{(1/2-3/4)/2} = n^{-1/2}
+        assert optimal_transmission_range(family) == Order("-1/2")
+
+
+class TestOptimalScheme:
+    def test_strong_no_bs(self):
+        assert optimal_scheme(params()) is Scheme.SCHEME_A
+
+    def test_strong_with_bs(self):
+        assert optimal_scheme(params(bs_exponent="7/8")) is Scheme.SCHEME_A_PLUS_B
+
+    def test_weak_no_bs(self):
+        assert optimal_scheme(NetworkParameters(**WEAK)) is Scheme.STATIC_MULTIHOP
+
+    def test_weak_with_bs(self):
+        family = NetworkParameters(bs_exponent="3/4", backbone_exponent=1, **WEAK)
+        assert optimal_scheme(family) is Scheme.SCHEME_B
+
+    def test_trivial_with_bs(self):
+        family = NetworkParameters(bs_exponent="3/4", backbone_exponent=1, **TRIVIAL)
+        assert optimal_scheme(family) is Scheme.SCHEME_C
+
+
+class TestAnalyze:
+    def test_mobility_dominant_bottleneck(self):
+        result = analyze(params(bs_exponent="1/2", backbone_exponent=1))
+        assert result.bottleneck is Bottleneck.MOBILITY
+
+    def test_access_bottleneck(self):
+        result = analyze(params(bs_exponent="7/8", backbone_exponent=1))
+        assert result.bottleneck is Bottleneck.ACCESS
+
+    def test_backbone_bottleneck(self):
+        # phi = -1/16 < 0 starves the backbone while the infrastructure term
+        # (n^{-3/16}) still beats mobility (n^{-1/4})
+        result = analyze(params(bs_exponent="7/8", backbone_exponent="-1/16"))
+        assert result.bottleneck is Bottleneck.BACKBONE
+
+    def test_interference_bottleneck_without_bs(self):
+        result = analyze(NetworkParameters(**WEAK))
+        assert result.bottleneck is Bottleneck.INTERFERENCE
+
+    def test_summary_renders(self):
+        text = analyze(params()).summary()
+        assert "strong" in text
+        assert "Theta" in text
+
+    def test_boundary_rejected(self):
+        family = NetworkParameters(
+            alpha="1/2",
+            cluster_exponent="1/2",
+            cluster_radius_exponent="1/4",
+            validate=False,
+        )
+        with pytest.raises(InvalidParameters):
+            analyze(family)
+
+    def test_weak_and_trivial_same_capacity_different_scheme(self):
+        """The paper's headline subtlety: identical capacity, different
+        optimal communication scheme in the weak vs trivial regimes."""
+        weak = analyze(NetworkParameters(bs_exponent="3/4", backbone_exponent=1, **WEAK))
+        trivial = analyze(
+            NetworkParameters(bs_exponent="3/4", backbone_exponent=1, **TRIVIAL)
+        )
+        assert weak.capacity == trivial.capacity
+        assert weak.scheme is not trivial.scheme
+
+
+class TestBackboneProvisioning:
+    def test_phi_zero_is_optimal(self):
+        assert optimal_backbone_exponent() == Fraction(0)
+
+    def test_infrastructure_term_saturates_at_phi_zero(self):
+        """Increasing phi beyond 0 must not increase the infrastructure
+        contribution; decreasing below 0 must strictly decrease it."""
+        def infra_at(phi):
+            family = params(bs_exponent="7/8", backbone_exponent=phi)
+            return infrastructure_capacity(family)
+
+        assert infra_at(0) == infra_at(1) == infra_at(2)
+        assert infra_at("-1/4") < infra_at(0)
+        assert infra_at("-1/2") < infra_at("-1/4")

@@ -1,0 +1,71 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestAnalyze:
+    def test_default_family(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "regime=strong" in out
+        assert "Theta" in out
+
+    def test_with_infrastructure(self, capsys):
+        assert main(["analyze", "--bs", "7/8", "--phi", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "infrastructure term" in out
+
+    def test_invalid_parameters_exit_code(self, capsys):
+        assert main(["analyze", "--alpha", "3/4"]) == 2
+        assert "invalid parameters" in capsys.readouterr().err
+
+    def test_no_validate_bypasses(self, capsys):
+        assert main(["analyze", "--alpha", "3/4", "--no-validate",
+                     "--clusters", "1/4", "--radius", "1/4"]) == 0
+        assert "trivial" in capsys.readouterr().out
+
+
+class TestTable1:
+    def test_renders_all_rows(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "strong mobility" in out
+        assert "trivial mobility" in out
+
+
+class TestPhase:
+    def test_renders_regions(self, capsys):
+        assert main(["phase", "--phi", "0", "--grid", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "M" in out and "I" in out
+
+    def test_negative_phi(self, capsys):
+        # argparse needs the = form for option values starting with '-'
+        assert main(["phase", "--phi=-1/4", "--grid", "5"]) == 0
+
+
+class TestSimulate:
+    def test_runs_small_network(self, capsys):
+        assert main(["simulate", "--n", "150", "--bs", "7/8"]) == 0
+        out = capsys.readouterr().out
+        assert "flow-level rate" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReproduce:
+    def test_writes_report(self, tmp_path, capsys):
+        assert main([
+            "reproduce", "--out", str(tmp_path), "--grid", "120,240",
+        ]) == 0
+        report = (tmp_path / "reproduction.md").read_text()
+        assert "Table I (closed form)" in report
+        assert "measured slope" in report
+        assert "phase 2" in report  # figure 2 trace
+        assert "Quick mode" in report

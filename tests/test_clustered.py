@@ -1,0 +1,138 @@
+"""Unit tests for the clustered home-point model and Lemma 1 / Lemma 11."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.tessellation import tessellation_for_area
+from repro.geometry.torus import torus_distance
+from repro.mobility.clustered import place_home_points
+
+
+class TestPlacement:
+    def test_shapes(self, rng):
+        model = place_home_points(rng, n=100, m=10, radius=0.05)
+        assert model.points.shape == (100, 2)
+        assert model.centers.shape == (10, 2)
+        assert model.assignment.shape == (100,)
+        assert model.cluster_count == 10
+        assert model.point_count == 100
+
+    def test_points_within_radius_of_center(self, rng):
+        model = place_home_points(rng, n=200, m=5, radius=0.03)
+        centers = model.centers[model.assignment]
+        assert np.all(torus_distance(model.points, centers) <= 0.03 + 1e-12)
+
+    def test_zero_radius_collapses_to_centers(self, rng):
+        model = place_home_points(rng, n=50, m=4, radius=0.0)
+        centers = model.centers[model.assignment]
+        assert np.allclose(model.points, centers)
+
+    def test_cluster_sizes_partition(self, rng):
+        model = place_home_points(rng, n=300, m=7, radius=0.02)
+        assert model.cluster_sizes().sum() == 300
+
+    def test_members_match_assignment(self, rng):
+        model = place_home_points(rng, n=80, m=6, radius=0.02)
+        for cluster in range(6):
+            members = model.members(cluster)
+            assert np.all(model.assignment[members] == cluster)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            place_home_points(rng, n=0, m=1, radius=0.1)
+        with pytest.raises(ValueError):
+            place_home_points(rng, n=10, m=0, radius=0.1)
+        with pytest.raises(ValueError):
+            place_home_points(rng, n=10, m=2, radius=-0.1)
+
+    def test_sample_more_uses_same_clusters(self, rng):
+        model = place_home_points(rng, n=100, m=5, radius=0.04)
+        extra = model.sample_more(rng, 30)
+        assert extra.point_count == 30
+        assert np.shares_memory(extra.centers, model.centers)
+        centers = extra.centers[extra.assignment]
+        assert np.all(torus_distance(extra.points, centers) <= 0.04 + 1e-12)
+
+
+class TestLemma11:
+    """Chernoff concentration of per-cluster populations."""
+
+    def test_cluster_sizes_concentrate(self, rng):
+        n, m = 4000, 10
+        model = place_home_points(rng, n=n, m=m, radius=0.02)
+        sizes = model.cluster_sizes()
+        expected = n / m
+        assert np.all(sizes > 0.5 * expected)
+        assert np.all(sizes < 1.5 * expected)
+
+
+class TestLemma1:
+    """Cell-count concentration for tessellations of area >= (16+beta)gamma."""
+
+    def test_uniform_home_point_counts_bounded(self, rng):
+        n, m = 3000, 3000  # uniform model (m = n)
+        gamma = math.log(m) / m
+        tess = tessellation_for_area(16.5 * gamma)
+        model = place_home_points(rng, n=n, m=m, radius=0.0)
+        counts = tess.counts(model.points)
+        expected = n * tess.cell_area
+        # Lemma 1: 1/4 n|A| < N < 4 n|A| uniformly over cells
+        assert counts.min() > expected / 4
+        assert counts.max() < expected * 4
+
+    def test_clustered_counts_violate_uniform_bounds(self, rng):
+        """With heavy clustering the same bounds must fail (this is what
+        makes the network non-uniformly dense)."""
+        n, m = 3000, 5
+        gamma_uniform = math.log(n) / n
+        tess = tessellation_for_area(16.5 * gamma_uniform)
+        model = place_home_points(rng, n=n, m=m, radius=0.01)
+        counts = tess.counts(model.points)
+        expected = n * tess.cell_area
+        assert counts.min() < expected / 4  # huge empty regions
+
+
+class TestWeightedClusters:
+    """Preferential-attachment extension (Remark 4)."""
+
+    def test_zipf_weights_shape_and_order(self):
+        from repro.mobility.clustered import zipf_weights
+
+        weights = zipf_weights(5, exponent=1.0)
+        assert weights.shape == (5,)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_zipf_zero_exponent_is_uniform(self):
+        from repro.mobility.clustered import zipf_weights
+
+        assert np.allclose(zipf_weights(4, exponent=0.0), 1.0)
+
+    def test_zipf_invalid(self):
+        from repro.mobility.clustered import zipf_weights
+
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, exponent=-1.0)
+
+    def test_weighted_placement_skews_population(self, rng):
+        from repro.mobility.clustered import zipf_weights
+
+        model = place_home_points(
+            rng, n=3000, m=10, radius=0.01, weights=zipf_weights(10, 1.5)
+        )
+        sizes = model.cluster_sizes()
+        # the most popular cluster dwarfs the least popular one
+        assert sizes[0] > 5 * max(1, sizes[-1])
+
+    def test_weight_validation(self, rng):
+        with pytest.raises(ValueError):
+            place_home_points(rng, n=10, m=3, radius=0.1, weights=np.ones(4))
+        with pytest.raises(ValueError):
+            place_home_points(rng, n=10, m=3, radius=0.1, weights=np.zeros(3))
+        with pytest.raises(ValueError):
+            place_home_points(
+                rng, n=10, m=3, radius=0.1, weights=np.array([1.0, -1.0, 1.0])
+            )

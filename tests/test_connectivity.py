@@ -1,0 +1,94 @@
+"""Unit tests for connectivity criteria (Gupta-Kumar range; Lemma 10)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mobility.clustered import place_home_points
+from repro.wireless.connectivity import (
+    connected_component_count,
+    critical_range,
+    is_connected,
+    minimum_connecting_range,
+)
+
+
+class TestCriticalRange:
+    def test_formula(self):
+        assert critical_range(100) == pytest.approx(
+            math.sqrt(math.log(100) / (math.pi * 100))
+        )
+
+    def test_decreasing_in_n(self):
+        assert critical_range(1000) < critical_range(100)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            critical_range(1)
+
+
+class TestConnectivityChecks:
+    def test_two_points(self):
+        pts = np.array([[0.1, 0.1], [0.2, 0.1]])
+        assert is_connected(pts, 0.15)
+        assert not is_connected(pts, 0.05)
+
+    def test_component_count(self):
+        pts = np.array([[0.1, 0.1], [0.12, 0.1], [0.8, 0.8]])
+        assert connected_component_count(pts, 0.05) == 2
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            is_connected(np.zeros((2, 2)), 0.0)
+
+    def test_uniform_nodes_connect_at_twice_critical(self, rng):
+        n = 500
+        pts = rng.random((n, 2))
+        assert is_connected(pts, 2.0 * critical_range(n))
+
+    def test_uniform_nodes_disconnect_well_below_critical(self, rng):
+        n = 500
+        pts = rng.random((n, 2))
+        assert not is_connected(pts, 0.2 * critical_range(n))
+
+
+class TestMinimumConnectingRange:
+    def test_trivial_cases(self):
+        assert minimum_connecting_range(np.zeros((1, 2))) == 0.0
+
+    def test_collinear(self):
+        pts = np.array([[0.1, 0.5], [0.3, 0.5], [0.6, 0.5]])
+        assert minimum_connecting_range(pts) == pytest.approx(0.3)
+
+    def test_connect_exactly_at_mst_edge(self, rng):
+        pts = rng.random((60, 2))
+        r = minimum_connecting_range(pts)
+        assert is_connected(pts, r * 1.0001)
+        assert not is_connected(pts, r * 0.9999)
+
+    def test_uses_torus_metric(self):
+        pts = np.array([[0.02, 0.5], [0.98, 0.5]])
+        assert minimum_connecting_range(pts) == pytest.approx(0.04)
+
+
+class TestLemma10:
+    """Clustered home-points force a much larger connecting range."""
+
+    def test_clustering_raises_connecting_range(self, rng):
+        n = 600
+        uniform = place_home_points(rng, n=n, m=n, radius=0.0)
+        clustered = place_home_points(rng, n=n, m=6, radius=0.02)
+        assert minimum_connecting_range(clustered.points) > 2 * \
+            minimum_connecting_range(uniform.points)
+
+    def test_cluster_range_tracks_gamma(self, rng):
+        """The connecting range of a clustered layout is driven by the
+        cluster-center spacing sqrt(gamma) = sqrt(log m / m), not by n."""
+        n, m = 800, 8
+        model = place_home_points(rng, n=n, m=m, radius=0.005)
+        measured = minimum_connecting_range(model.points)
+        gamma = math.log(m) / m
+        # same order: within a factor of ~4 of sqrt(gamma)/sqrt(pi)
+        assert measured > 0.1 * math.sqrt(gamma)
+        assert measured < 4.0 * math.sqrt(gamma)

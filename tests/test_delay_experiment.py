@@ -1,0 +1,33 @@
+"""Unit tests for the delay-comparison experiment driver."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.delay import DelayComparison, compare_delays
+
+
+class TestCompareDelays:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        # small and short: this is a smoke-level correctness check; the
+        # full-size comparison lives in benchmarks/test_delay.py
+        return compare_delays(80, seed=1, slots=800, arrival_prob=0.01)
+
+    def test_all_three_schemes_present(self, comparison):
+        assert set(comparison.mean_delay) == {"scheme-A", "two-hop", "scheme-B"}
+
+    def test_some_delivery_everywhere(self, comparison):
+        for scheme, count in comparison.delivered.items():
+            assert count > 0, scheme
+
+    def test_two_hop_bounded_hops(self, comparison):
+        assert comparison.mean_hops["two-hop"] <= 2.0
+
+    def test_lines_render(self, comparison):
+        lines = comparison.lines()
+        assert len(lines) == 3
+        assert all("delay=" in line for line in lines)
+
+    def test_delays_non_negative(self, comparison):
+        for scheme, delay in comparison.mean_delay.items():
+            assert delay >= 0 or np.isnan(delay), scheme

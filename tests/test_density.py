@@ -1,0 +1,99 @@
+"""Unit tests for local density and the uniformly dense criterion (Thm 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.density import density_field, local_density
+from repro.mobility.clustered import place_home_points
+from repro.mobility.shapes import UniformDiskShape
+
+SHAPE = UniformDiskShape(1.0)
+
+
+class TestLocalDensity:
+    def test_shape(self, rng):
+        homes = rng.random((100, 2))
+        probes = rng.random((7, 2))
+        rho = local_density(probes, homes, SHAPE, f=2.0, n=100)
+        assert rho.shape == (7,)
+        assert np.all(rho >= 0)
+
+    def test_invalid_n(self, rng):
+        with pytest.raises(ValueError):
+            local_density(rng.random((3, 2)), rng.random((5, 2)), SHAPE, 1.0, 0)
+
+    def test_total_mass(self, rng):
+        """Averaged over the torus, rho ~ n * pi/n = pi (disk area times
+        uniform unit density)."""
+        n = 500
+        homes = rng.random((n, 2))
+        probes = rng.random((400, 2))
+        rho = local_density(probes, homes, SHAPE, f=2.0, n=n)
+        assert float(rho.mean()) == pytest.approx(math.pi, rel=0.15)
+
+    def test_bs_indicator_contribution(self, rng):
+        homes = rng.random((100, 2))
+        probe = np.array([[0.5, 0.5]])
+        bs_near = np.array([[0.5, 0.5 + 0.5 / math.sqrt(100)]])
+        with_bs = local_density(probe, homes, SHAPE, 2.0, 100, bs_positions=bs_near)
+        without = local_density(probe, homes, SHAPE, 2.0, 100)
+        assert with_bs[0] == pytest.approx(without[0] + 1.0)
+
+    def test_monte_carlo_agreement(self, rng):
+        """Closed-form rho vs empirical expected disk occupancy."""
+        n, f = 300, 3.0
+        homes = rng.random((n, 2))
+        probe = np.array([0.4, 0.6])
+        radius = 1.0 / math.sqrt(n)
+        trials = 300
+        counts = []
+        from repro.geometry.torus import torus_distance, wrap
+
+        for _ in range(trials):
+            offsets = SHAPE.sample_offsets(rng, n, 1.0 / f)
+            positions = wrap(homes + offsets)
+            counts.append(np.sum(torus_distance(positions, probe) <= radius))
+        empirical = float(np.mean(counts))
+        predicted = local_density(probe[None, :], homes, SHAPE, f, n)[0]
+        assert empirical == pytest.approx(predicted, rel=0.25)
+
+
+class TestDensityField:
+    def test_grid_shape(self, rng):
+        homes = rng.random((200, 2))
+        field = density_field(homes, SHAPE, 2.0, 200, grid_side=16)
+        assert field.values.shape == (16, 16)
+
+    def test_invalid_grid(self, rng):
+        with pytest.raises(ValueError):
+            density_field(rng.random((10, 2)), SHAPE, 1.0, 10, grid_side=1)
+
+    def test_uniform_network_is_uniformly_dense(self, rng):
+        """Theorem 1 forward direction: strong mobility (uniform homes,
+        moderate f) gives a bounded density ratio."""
+        n = 1000
+        model = place_home_points(rng, n=n, m=n, radius=0.0)
+        field = density_field(model.points, SHAPE, f=2.0, n=n, grid_side=16)
+        assert field.min > 0
+        assert field.uniformity_ratio < 3.0
+        assert field.empty_fraction == 0.0
+
+    def test_clustered_network_is_not_uniformly_dense(self, rng):
+        """Theorem 1 converse: heavy clustering with weak mobility leaves
+        most of the torus empty."""
+        n = 1000
+        model = place_home_points(rng, n=n, m=4, radius=0.02)
+        field = density_field(model.points, SHAPE, f=16.0, n=n, grid_side=16)
+        assert field.empty_fraction > 0.5
+        assert field.uniformity_ratio == math.inf
+
+    def test_ratio_degrades_with_f(self, rng):
+        """Holding home-points fixed, shrinking the mobility radius (larger
+        f) makes the density field less uniform."""
+        n = 800
+        model = place_home_points(rng, n=n, m=20, radius=0.05)
+        weak = density_field(model.points, SHAPE, f=2.0, n=n, grid_side=12)
+        strong = density_field(model.points, SHAPE, f=20.0, n=n, grid_side=12)
+        assert strong.uniformity_ratio > weak.uniformity_ratio

@@ -1,0 +1,22 @@
+"""Run the package's embedded doctests (usage examples in docstrings)."""
+
+import doctest
+
+import pytest
+
+import repro.core.order
+import repro.geometry.torus
+import repro.utils.tables
+
+MODULES = [
+    repro.core.order,
+    repro.geometry.torus,
+    repro.utils.tables,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, raise_on_error=False, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"

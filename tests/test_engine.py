@@ -1,0 +1,109 @@
+"""Unit tests for the slotted packet simulator."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.processes import IIDAroundHome
+from repro.mobility.shapes import UniformDiskShape
+from repro.simulation.engine import Packet, PacketRouter, SlottedSimulator
+from repro.simulation.traffic import permutation_traffic
+from repro.wireless.scheduler import PolicySStar
+
+
+class AlwaysDeliverRouter(PacketRouter):
+    """Hands any packet to any peer; delivery only at the destination."""
+
+    def select_transfer(self, queue, holder, peer):
+        return queue[0] if queue else None
+
+
+def make_sim(rng, n=60, arrival=0.1, router=None, static=None):
+    homes = rng.random((n, 2))
+    process = IIDAroundHome(homes, UniformDiskShape(1.0), 0.3, rng)
+    total = n + (0 if static is None else len(static))
+    scheduler = PolicySStar(node_count=total, c_t=0.4, delta=0.5)
+    traffic = permutation_traffic(rng, n)
+    return SlottedSimulator(
+        process=process,
+        scheduler=scheduler,
+        router=router or AlwaysDeliverRouter(),
+        traffic=traffic,
+        arrival_prob=arrival,
+        rng=rng,
+        static_positions=static,
+    )
+
+
+class TestConstruction:
+    def test_invalid_arrival(self, rng):
+        with pytest.raises(ValueError):
+            make_sim(rng, arrival=1.5)
+
+    def test_traffic_size_mismatch(self, rng):
+        homes = rng.random((10, 2))
+        process = IIDAroundHome(homes, UniformDiskShape(1.0), 0.3, rng)
+        traffic = permutation_traffic(rng, 20)
+        with pytest.raises(ValueError):
+            SlottedSimulator(
+                process, PolicySStar(10), AlwaysDeliverRouter(), traffic, 0.1, rng
+            )
+
+
+class TestConservation:
+    def test_packets_conserved(self, rng):
+        sim = make_sim(rng)
+        metrics = sim.run(40)
+        assert metrics.created == metrics.delivered + metrics.in_flight
+
+    def test_zero_arrivals_nothing_happens(self, rng):
+        sim = make_sim(rng, arrival=0.0)
+        metrics = sim.run(10)
+        assert metrics.created == 0
+        assert metrics.delivered == 0
+
+    def test_slot_counter(self, rng):
+        sim = make_sim(rng)
+        metrics = sim.run(7)
+        assert metrics.slots == 7
+        metrics = sim.run(3)
+        assert metrics.slots == 10
+
+    def test_invalid_slots(self, rng):
+        with pytest.raises(ValueError):
+            make_sim(rng).run(0)
+
+
+class TestDelivery:
+    def test_packets_eventually_delivered(self, rng):
+        sim = make_sim(rng, n=80, arrival=0.02)
+        metrics = sim.run(300)
+        assert metrics.delivered > 0
+        assert metrics.per_node_throughput > 0
+
+    def test_delays_non_negative(self, rng):
+        sim = make_sim(rng, n=80, arrival=0.05)
+        metrics = sim.run(200)
+        assert np.all(metrics.delays >= 0)
+
+    def test_hops_positive_for_delivered(self, rng):
+        sim = make_sim(rng, n=80, arrival=0.05)
+        metrics = sim.run(200)
+        if metrics.hop_counts.size:
+            assert np.all(metrics.hop_counts >= 1)
+
+
+class TestMetrics:
+    def test_summary_renders(self, rng):
+        metrics = make_sim(rng).run(20)
+        text = metrics.summary()
+        assert "throughput" in text
+
+    def test_delivery_ratio_bounds(self, rng):
+        metrics = make_sim(rng, arrival=0.1).run(50)
+        assert 0 <= metrics.delivery_ratio <= 1
+
+    def test_empty_metrics_are_nan(self, rng):
+        metrics = make_sim(rng, arrival=0.0).run(5)
+        assert np.isnan(metrics.mean_delay)
+        assert np.isnan(metrics.mean_hops)
+        assert metrics.delivery_ratio == 0.0

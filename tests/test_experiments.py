@@ -1,0 +1,178 @@
+"""Unit tests for the experiment harness (sweeps, Table I, figures)."""
+
+import numpy as np
+
+
+import pytest
+
+from repro.core.capacity import Scheme, optimal_scheme
+from repro.core.regimes import MobilityRegime, NetworkParameters
+from repro.experiments.figure1 import (
+    CLUSTERED_PARAMS,
+    UNIFORM_PARAMS,
+    make_panel,
+)
+from repro.experiments.figure2 import trace_scheme_b
+from repro.experiments.figure3 import compute_figure3, simulated_spot_checks
+from repro.experiments.scaling import (
+    measure_rate,
+    sweep_capacity,
+    theory_order,
+)
+from repro.experiments.table1 import (
+    TABLE1_ROWS,
+    closed_form_table,
+    measure_row,
+)
+from repro.utils.fitting import geometric_grid
+
+
+class TestTheoryOrder:
+    def test_scheme_a_is_one_over_f(self):
+        params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+        assert float(theory_order(params, "A").poly_exponent) == -0.25
+
+    def test_unknown_scheme(self):
+        params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+        with pytest.raises(ValueError):
+            theory_order(params, "Z")
+
+
+class TestMeasureRate:
+    def test_scheme_validation(self, rng):
+        params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+        with pytest.raises(ValueError):
+            measure_rate(params, 100, rng, scheme="Z")
+
+    def test_measures_positive_rate(self, rng):
+        params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+        result = measure_rate(params, 200, rng, scheme="A")
+        assert result.per_node_rate > 0
+
+
+class TestSweep:
+    def test_sweep_shapes_and_fit(self):
+        params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+        result = sweep_capacity(
+            params, [100, 200, 400], scheme="A", trials=2, seed=0
+        )
+        assert result.rates.shape == (3,)
+        assert result.fit is not None
+        assert result.theory_exponent == -0.25
+
+    def test_sweep_row_render(self):
+        params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+        result = sweep_capacity(params, [100, 200], scheme="A", trials=1)
+        row = result.row()
+        assert row[0] == "A"
+
+    def test_invalid_trials(self):
+        params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+        with pytest.raises(ValueError):
+            sweep_capacity(params, [100, 200], trials=0)
+
+
+class TestTable1:
+    def test_five_rows(self):
+        assert len(TABLE1_ROWS) == 5
+
+    def test_regimes_cover_table(self):
+        regimes = [row.parameters.regime for row in TABLE1_ROWS]
+        assert regimes.count(MobilityRegime.STRONG) == 2
+        assert regimes.count(MobilityRegime.WEAK) == 2
+        assert regimes.count(MobilityRegime.TRIVIAL) == 1
+
+    def test_schemes_match_paper(self):
+        schemes = [optimal_scheme(row.parameters) for row in TABLE1_ROWS]
+        assert schemes == [
+            Scheme.SCHEME_A,
+            Scheme.SCHEME_A_PLUS_B,
+            Scheme.STATIC_MULTIHOP,
+            Scheme.SCHEME_B,
+            Scheme.SCHEME_C,
+        ]
+
+    def test_closed_form_table_renders(self):
+        text = closed_form_table()
+        assert "Theta(n^-1/4)" in text
+        assert "trivial" in text
+
+    def test_measure_row_smoke(self):
+        result = measure_row(TABLE1_ROWS[0], [100, 200], trials=1, seed=1)
+        assert result.scheme == "A"
+        assert result.fit is not None
+
+
+class TestFigure1:
+    def test_uniform_panel_is_uniformly_dense(self, rng):
+        panel = make_panel(UNIFORM_PARAMS, 400, rng, "uniform")
+        assert panel.parameters.regime is MobilityRegime.STRONG
+        assert panel.field.uniformity_ratio < 10
+
+    def test_clustered_panel_is_not(self, rng):
+        panel = make_panel(CLUSTERED_PARAMS, 400, rng, "clustered")
+        assert panel.parameters.regime is not MobilityRegime.STRONG
+        assert panel.field.empty_fraction > 0.2
+
+    def test_summary_text(self, rng):
+        panel = make_panel(UNIFORM_PARAMS, 100, rng, "uniform")
+        assert "rho_min" in panel.summary()
+
+
+class TestFigure2:
+    def test_trace_structure(self, rng):
+        trace = trace_scheme_b(200, rng)
+        lines = trace.lines()
+        assert any("phase 1" in line for line in lines)
+        assert any("phase 2" in line for line in lines)
+        assert any("phase 3" in line for line in lines)
+        assert trace.per_node_rate >= 0
+
+
+class TestFigure3:
+    def test_panels(self):
+        figure = compute_figure3(grid_points=9)
+        assert figure.left.phi == 0
+        assert figure.right.phi == -0.25
+        assert len(figure.lines()) > 4
+
+    def test_spot_checks_agree_with_prediction(self):
+        # the exponent gap must be wide enough for the dominance to show
+        # through the constants at n = 600 (see EXPERIMENTS.md)
+        checks = simulated_spot_checks(
+            [("1/4", "1/4", "0"), ("1/4", "15/16", "0")], n=600, seed=3
+        )
+        assert checks[0].predicted_region == "mobility"
+        assert checks[1].predicted_region == "infrastructure"
+        for check in checks:
+            assert check.agrees
+
+
+class TestGeometricGridIntegration:
+    def test_grid_for_sweeps(self):
+        grid = geometric_grid(100, 800, 4)
+        assert grid[0] == 100 and grid[-1] == 800
+
+
+class TestConvergenceStudy:
+    def test_windowed_slopes_structure(self):
+        from repro.experiments.convergence import windowed_slopes
+
+        params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+        study = windowed_slopes(
+            params, [150, 300, 600, 1200], scheme="A", window=3, trials=1
+        )
+        assert study.window_slopes.shape[0] == 2  # two sliding windows
+        assert study.theory_exponent == -0.25
+        assert len(study.rows()) == 2
+        assert np.isfinite(study.final_error)
+        assert np.isfinite(study.drift())
+
+    def test_window_validation(self):
+        from repro.experiments.convergence import windowed_slopes
+
+        params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+        with pytest.raises(ValueError):
+            windowed_slopes(params, [100, 200], window=5, trials=1)
+        with pytest.raises(ValueError):
+            windowed_slopes(params, [100, 200], window=1, trials=1)

@@ -1,0 +1,125 @@
+"""Unit tests for the max-flow cross-validation layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.regimes import NetworkParameters
+from repro.mobility.shapes import UniformDiskShape
+from repro.simulation.maxflow import (
+    LinkCapacityGraph,
+    session_max_flow,
+    uniform_rate_bound,
+)
+from repro.simulation.network import HybridNetwork
+from repro.simulation.traffic import permutation_traffic
+
+SHAPE = UniformDiskShape(1.0)
+
+
+def build_graph(rng, n=80, f=2.0, k=0, c=0.0, **kwargs):
+    homes = rng.random((n, 2))
+    bs = rng.random((k, 2)) if k else None
+    return LinkCapacityGraph(
+        homes, SHAPE, f, bs_positions=bs, wire_capacity=c, c_t=0.5, **kwargs
+    ), homes
+
+
+class TestGraphConstruction:
+    def test_node_split(self, rng):
+        graph, _ = build_graph(rng, n=20)
+        assert graph.ms_count == 20
+        assert graph.graph.has_edge((0, "in"), (0, "out"))
+
+    def test_bs_nodes_added(self, rng):
+        graph, _ = build_graph(rng, n=20, k=5, c=1.0)
+        assert graph.bs_count == 5
+        assert graph.graph.has_edge((20, "wired"), (21, "wired"))
+
+    def test_invalid_budget(self, rng):
+        homes = rng.random((5, 2))
+        with pytest.raises(ValueError):
+            LinkCapacityGraph(homes, SHAPE, 2.0, node_budget=0.0)
+
+
+class TestMaxFlow:
+    def test_positive_for_connected_pair(self, rng):
+        graph, _ = build_graph(rng, n=80, f=1.5)
+        assert graph.max_flow(0, 40) > 0
+
+    def test_bounded_by_node_budget(self, rng):
+        graph, _ = build_graph(rng, n=80, f=1.5)
+        # the source's own node-split arc caps any session at the budget
+        assert graph.max_flow(0, 40) <= 0.5 + 1e-12
+
+    def test_zero_when_disconnected(self, rng):
+        # huge f: mobility disks shrink to nothing, no MS-MS contacts
+        graph, _ = build_graph(rng, n=40, f=500.0, capacity_floor=1e-12)
+        assert graph.max_flow(0, 20) == 0.0
+
+    def test_invalid_endpoints(self, rng):
+        graph, _ = build_graph(rng, n=10)
+        with pytest.raises(ValueError):
+            graph.max_flow(0, 0)
+        with pytest.raises(ValueError):
+            graph.max_flow(0, 99)
+
+    def test_wires_open_long_range_paths(self, rng):
+        """With BSs + wires, even contact-starved MS pairs get flow."""
+        n = 60
+        homes = np.vstack([
+            0.10 + 0.02 * rng.random((n // 2, 2)),
+            0.80 + 0.02 * rng.random((n // 2, 2)),
+        ])
+        bs = np.array([[0.11, 0.11], [0.81, 0.81]])
+        f = 20.0  # tiny mobility: the two blobs never meet wirelessly
+        without = LinkCapacityGraph(homes, SHAPE, f, c_t=0.5)
+        with_wires = LinkCapacityGraph(
+            homes, SHAPE, f, bs_positions=bs, wire_capacity=1.0, c_t=0.5
+        )
+        assert without.max_flow(0, n - 1) == 0.0
+        assert with_wires.max_flow(0, n - 1) > 0.0
+
+
+class TestUniformRateBound:
+    def test_sample_validation(self, rng):
+        graph, _ = build_graph(rng, n=20)
+        traffic = permutation_traffic(rng, 20)
+        with pytest.raises(ValueError):
+            uniform_rate_bound(graph, traffic, sample=0)
+
+    def test_session_flows_shape(self, rng):
+        graph, _ = build_graph(rng, n=30, f=1.5)
+        flows = session_max_flow(graph, [(0, 1), (2, 3)])
+        assert set(flows) == {(0, 1), (2, 3)}
+
+    def test_bound_dominates_scheme_a(self):
+        """The per-session max-flow bound must sit above the scheme-A
+        achieved uniform rate on the same realisation."""
+        params = NetworkParameters(alpha="1/8", cluster_exponent=1)
+        rng = np.random.default_rng(4)
+        net = HybridNetwork.build(params, 150, rng)
+        traffic = net.sample_traffic()
+        achieved = net.scheme_a().sustainable_rate(traffic).per_node_rate
+        graph = LinkCapacityGraph(
+            net.home_model.points, net.shape, net.realized.f, c_t=net.c_t
+        )
+        bound = uniform_rate_bound(graph, traffic, sample=6, rng=rng)
+        assert 0 < achieved <= bound
+
+    def test_bound_dominates_scheme_b(self):
+        """Same for scheme B with infrastructure included."""
+        params = NetworkParameters(
+            alpha="1/8", cluster_exponent=1, bs_exponent="7/8",
+            backbone_exponent=1,
+        )
+        rng = np.random.default_rng(5)
+        net = HybridNetwork.build(params, 150, rng)
+        traffic = net.sample_traffic()
+        achieved = net.scheme_b().sustainable_rate(traffic).per_node_rate
+        graph = LinkCapacityGraph(
+            net.home_model.points, net.shape, net.realized.f,
+            bs_positions=net.bs_positions, wire_capacity=net.realized.c,
+            c_t=net.c_t,
+        )
+        bound = uniform_rate_bound(graph, traffic, sample=6, rng=rng)
+        assert 0 <= achieved <= bound

@@ -1,0 +1,146 @@
+"""Unit tests for the HybridNetwork assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.regimes import MobilityRegime, NetworkParameters
+from repro.routing.scheme_a import SchemeA
+from repro.routing.scheme_b import SchemeB
+from repro.routing.scheme_c import SchemeC
+from repro.routing.static_multihop import StaticMultihop
+from repro.simulation.network import HybridNetwork
+
+STRONG_NO_BS = NetworkParameters(alpha="1/4", cluster_exponent=1)
+STRONG_BS = NetworkParameters(
+    alpha="1/4", cluster_exponent=1, bs_exponent="7/8", backbone_exponent=1
+)
+WEAK_BS = NetworkParameters(
+    alpha="1/2",
+    cluster_exponent="1/2",
+    cluster_radius_exponent="1/2",
+    bs_exponent="3/4",
+    backbone_exponent=1,
+)
+TRIVIAL_BS = NetworkParameters(
+    alpha="3/4",
+    cluster_exponent="1/2",
+    cluster_radius_exponent="3/8",
+    bs_exponent="3/4",
+    backbone_exponent=1,
+    validate=False,
+)
+
+
+class TestBuild:
+    def test_counts(self, rng):
+        net = HybridNetwork.build(STRONG_BS, 200, rng)
+        assert net.n == 200
+        assert net.k == round(200 ** (7 / 8))
+        assert net.total_nodes == net.n + net.k
+
+    def test_no_infrastructure(self, rng):
+        net = HybridNetwork.build(STRONG_NO_BS, 100, rng)
+        assert net.k == 0
+        assert net.bs_positions is None
+        assert net.backbone is None
+
+    def test_invalid_placement(self, rng):
+        with pytest.raises(ValueError):
+            HybridNetwork.build(STRONG_BS, 100, rng, placement="bogus")
+
+    def test_invalid_mobility(self, rng):
+        with pytest.raises(ValueError):
+            HybridNetwork.build(STRONG_BS, 100, rng, mobility="bogus")
+
+    @pytest.mark.parametrize("placement", ["matched", "uniform", "regular"])
+    def test_placements(self, rng, placement):
+        net = HybridNetwork.build(STRONG_BS, 150, rng, placement=placement)
+        assert net.bs_positions.shape[0] == net.k
+
+    @pytest.mark.parametrize("mobility", ["iid", "metropolis", "waypoint", "static"])
+    def test_mobility_kinds(self, rng, mobility):
+        net = HybridNetwork.build(STRONG_NO_BS, 80, rng, mobility=mobility)
+        assert net.process.positions().shape == (80, 2)
+
+    def test_trivial_regime_uses_cluster_lattice(self, rng):
+        net = HybridNetwork.build(TRIVIAL_BS, 300, rng)
+        # BS count is per-cluster multiples
+        assert net.k % net.home_model.cluster_count == 0
+
+
+class TestSchemeFactories:
+    def test_scheme_a(self, rng):
+        net = HybridNetwork.build(STRONG_NO_BS, 120, rng)
+        assert isinstance(net.scheme_a(), SchemeA)
+
+    def test_scheme_b_requires_bs(self, rng):
+        net = HybridNetwork.build(STRONG_NO_BS, 120, rng)
+        with pytest.raises(ValueError):
+            net.scheme_b()
+
+    def test_scheme_b_strong(self, rng):
+        net = HybridNetwork.build(STRONG_BS, 200, rng)
+        assert isinstance(net.scheme_b(), SchemeB)
+
+    def test_scheme_b_weak_uses_clusters(self, rng):
+        net = HybridNetwork.build(WEAK_BS, 300, rng)
+        scheme = net.scheme_b()
+        route = scheme.session_route(0, 1)
+        assert route["source_zone"] < net.home_model.cluster_count
+
+    def test_scheme_c(self, rng):
+        net = HybridNetwork.build(TRIVIAL_BS, 300, rng)
+        assert isinstance(net.scheme_c(), SchemeC)
+
+    def test_static_baseline(self, rng):
+        net = HybridNetwork.build(WEAK_BS, 200, rng)
+        assert isinstance(net.static_baseline(), StaticMultihop)
+
+    def test_access_range_by_regime(self, rng):
+        strong = HybridNetwork.build(STRONG_BS, 200, rng)
+        weak = HybridNetwork.build(WEAK_BS, 200, rng)
+        assert strong.access_transmission_range() == pytest.approx(
+            strong.c_t / np.sqrt(strong.total_nodes)
+        )
+        expected = weak.realized.r * np.sqrt(weak.realized.m / weak.n)
+        assert weak.access_transmission_range() == pytest.approx(expected)
+
+
+class TestSustainableRate:
+    def test_strong_no_bs_uses_scheme_a(self, rng):
+        net = HybridNetwork.build(STRONG_NO_BS, 250, rng)
+        result = net.sustainable_rate()
+        assert result.per_node_rate > 0
+
+    def test_strong_with_bs_sums_a_and_b(self, rng):
+        net = HybridNetwork.build(STRONG_BS, 250, rng)
+        result = net.sustainable_rate()
+        assert result.per_node_rate == pytest.approx(
+            result.details["scheme_a_rate"] + result.details["scheme_b_rate"]
+        )
+
+    def test_weak_uses_scheme_b(self, rng):
+        net = HybridNetwork.build(WEAK_BS, 400, rng)
+        result = net.sustainable_rate()
+        assert result.bottleneck in ("access", "backbone", "zone-without-bs")
+
+    def test_trivial_uses_scheme_c(self, rng):
+        net = HybridNetwork.build(TRIVIAL_BS, 400, rng)
+        result = net.sustainable_rate()
+        assert result.bottleneck in ("access", "backbone", "orphan-ms")
+
+    def test_theoretical_passthrough(self, rng):
+        net = HybridNetwork.build(STRONG_BS, 100, rng)
+        assert net.theoretical().regime is MobilityRegime.STRONG
+
+    def test_traffic_sampling(self, rng):
+        net = HybridNetwork.build(STRONG_NO_BS, 60, rng)
+        traffic = net.sample_traffic()
+        assert traffic.session_count == 60
+
+    def test_scheduler_sized_for_all_nodes(self, rng):
+        net = HybridNetwork.build(STRONG_BS, 150, rng)
+        scheduler = net.scheduler()
+        assert scheduler.transmission_range() == pytest.approx(
+            net.c_t / np.sqrt(net.total_nodes)
+        )

@@ -1,0 +1,175 @@
+"""Unit tests for the asymptotic order calculus."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.order import Order, as_fraction, order_max, order_min, order_sum
+
+exponents = st.fractions(
+    min_value=Fraction(-3), max_value=Fraction(3), max_denominator=12
+)
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(2) == Fraction(2)
+
+    def test_decimal_float_snaps_to_small_rational(self):
+        assert as_fraction(0.1) == Fraction(1, 10)
+        assert as_fraction(0.25) == Fraction(1, 4)
+
+    def test_string(self):
+        assert as_fraction("3/8") == Fraction(3, 8)
+
+    def test_fraction_passthrough(self):
+        assert as_fraction(Fraction(5, 7)) == Fraction(5, 7)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction([1])
+
+
+class TestConstructors:
+    def test_one(self):
+        assert Order.one() == Order(0, 0)
+
+    def test_poly(self):
+        assert Order.poly("1/2").poly_exponent == Fraction(1, 2)
+
+    def test_log(self):
+        assert Order.log(2).log_exponent == Fraction(2)
+
+    def test_immutable(self):
+        order = Order(1)
+        with pytest.raises(AttributeError):
+            order._poly = Fraction(2)
+
+
+class TestAlgebra:
+    def test_multiplication_adds_exponents(self):
+        assert Order(1, 1) * Order("1/2", -1) == Order("3/2", 0)
+
+    def test_division_subtracts_exponents(self):
+        assert Order(1) / Order("1/4", 1) == Order("3/4", -1)
+
+    def test_addition_is_dominance(self):
+        assert Order(1) + Order(2) == Order(2)
+        assert Order(1, 5) + Order(2, -5) == Order(2, -5)
+
+    def test_addition_log_breaks_tie(self):
+        assert Order(1, 1) + Order(1, 0) == Order(1, 1)
+
+    def test_power(self):
+        assert Order(1, 2) ** Fraction(1, 2) == Order("1/2", 1)
+
+    def test_sqrt(self):
+        assert Order(-1, 1).sqrt() == Order("-1/2", "1/2")
+
+    def test_reciprocal(self):
+        assert Order("1/4", -1).reciprocal() == Order("-1/4", 1)
+
+    def test_rtruediv_with_order(self):
+        assert (Order(2) / Order(1)) == Order(1)
+
+
+class TestComparisons:
+    def test_poly_dominates_log(self):
+        # n^0.01 grows faster than log^100 n
+        assert Order("1/100") > Order(0, 100)
+
+    def test_equality_and_hash(self):
+        assert Order(1, 1) == Order(1, 1)
+        assert hash(Order(1, 1)) == hash(Order(1, 1))
+        assert Order(1, 1) != Order(1, 0)
+
+    def test_ordering(self):
+        assert Order(-1) < Order(0) < Order(1)
+        assert Order(0, -1) < Order(0, 0) < Order(0, 1)
+
+
+class TestLandau:
+    def test_is_o_default_constant(self):
+        assert Order("-1/8").is_o()
+        assert not Order(0, 1).is_o()
+
+    def test_is_omega_default_constant(self):
+        assert Order(0, 1).is_omega()
+        assert not Order(0, -1).is_omega()
+
+    def test_is_O_and_Omega_include_equality(self):
+        assert Order(1).is_O(Order(1))
+        assert Order(1).is_Omega(Order(1))
+
+    def test_is_theta(self):
+        assert Order(1, -1).is_theta(Order(1, -1))
+        assert not Order(1).is_theta(Order(1, 1))
+
+    @given(a=exponents, b=exponents)
+    def test_o_and_omega_are_mutually_exclusive(self, a, b):
+        x, y = Order(a), Order(b)
+        assert not (x.is_o(y) and x.is_omega(y))
+
+    @given(a=exponents, b=exponents)
+    def test_trichotomy(self, a, b):
+        x, y = Order(a), Order(b)
+        assert x.is_o(y) or x.is_omega(y) or x.is_theta(y)
+
+
+class TestEvaluation:
+    def test_pure_poly(self):
+        assert Order("1/2").evaluate(100) == pytest.approx(10.0)
+
+    def test_with_log(self):
+        assert Order(1, 1).evaluate(math.e ** 2) == pytest.approx(
+            2 * math.e ** 2
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Order(1).evaluate(0)
+
+    def test_rejects_n_one_with_log(self):
+        with pytest.raises(ValueError):
+            Order(0, 1).evaluate(1)
+
+
+class TestRendering:
+    def test_pretty_constant(self):
+        assert Order.one().pretty() == "1"
+
+    def test_pretty_poly_and_log(self):
+        assert Order("1/2", 1).pretty() == "n^1/2 log n"
+
+    def test_str(self):
+        assert str(Order(-1)) == "Theta(n^-1)"
+
+
+class TestAggregates:
+    def test_order_min(self):
+        assert order_min(Order(1), Order(0), Order(2)) == Order(0)
+
+    def test_order_max(self):
+        assert order_max(Order(1), Order(0), Order(2)) == Order(2)
+
+    def test_order_sum(self):
+        assert order_sum([Order(-1), Order("-1/2")]) == Order("-1/2")
+
+    def test_nested_iterables(self):
+        assert order_min([Order(1), Order(2)], Order(0)) == Order(0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            order_min()
+
+    @given(st.lists(exponents, min_size=1, max_size=6))
+    def test_min_le_max(self, values):
+        orders = [Order(v) for v in values]
+        assert order_min(*orders) <= order_max(*orders)

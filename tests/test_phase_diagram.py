@@ -1,0 +1,121 @@
+"""Unit tests for the Figure-3 phase diagrams."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.phase_diagram import (
+    capacity_exponent,
+    compute_phase_diagram,
+    dominance,
+    mobility_boundary,
+)
+
+alphas = st.fractions(min_value=0, max_value=Fraction(1, 2), max_denominator=8)
+ks = st.fractions(min_value=0, max_value=1, max_denominator=8)
+phis = st.fractions(min_value=-1, max_value=2, max_denominator=4)
+
+
+class TestCapacityExponent:
+    def test_known_corner_values(self):
+        # dense network, no useful BSs: Theta(1)
+        assert capacity_exponent(0, 0, 1) == 0
+        # extended network, k = n, phi >= 0: max(-1/2, 0) = 0
+        assert capacity_exponent("1/2", 1, 1) == 0
+        # the paper's left-panel annotation: n^{-1/2} at alpha=1/2, K=1/2
+        assert capacity_exponent("1/2", "1/2", 1) == Fraction(-1, 2)
+
+    def test_backbone_starved_panel(self):
+        # phi = -1/4 at K = 1, alpha = 1/2: infra term n^{K+phi-1} = n^{-1/4}
+        # beats mobility n^{-1/2}
+        assert capacity_exponent("1/2", 1, "-1/4") == Fraction(-1, 4)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            capacity_exponent("3/4", 0, 1)
+        with pytest.raises(ValueError):
+            capacity_exponent(0, 2, 1)
+
+    @given(alpha=alphas, big_k=ks, phi=phis)
+    def test_exponent_formula(self, alpha, big_k, phi):
+        expected = max(-alpha, min(big_k + phi - 1, big_k - 1))
+        assert capacity_exponent(alpha, big_k, phi) == expected
+
+    @given(alpha=alphas, big_k=ks, phi=phis)
+    def test_capacity_never_positive_is_false_but_bounded(self, alpha, big_k, phi):
+        # per-node capacity cannot exceed Theta(1) when phi <= 1 and K <= 1
+        if phi <= 1:
+            assert capacity_exponent(alpha, big_k, phi) <= 0
+
+
+class TestDominance:
+    def test_mobility_region(self):
+        assert dominance("1/4", "1/2", 1) == "mobility"
+
+    def test_infrastructure_region(self):
+        assert dominance("1/4", "7/8", 1) == "infrastructure"
+
+    def test_tie_on_boundary(self):
+        assert dominance("1/4", "3/4", 1) == "tie"
+
+    @given(alpha=alphas, big_k=ks, phi=phis)
+    def test_boundary_consistent_with_dominance(self, alpha, big_k, phi):
+        boundary = mobility_boundary(alpha, phi)
+        verdict = dominance(alpha, big_k, phi)
+        if big_k < boundary:
+            assert verdict == "mobility"
+        elif big_k > boundary:
+            assert verdict == "infrastructure"
+        else:
+            assert verdict == "tie"
+
+
+class TestBoundaryLine:
+    def test_access_limited_panel(self):
+        assert mobility_boundary("1/4", 0) == Fraction(3, 4)
+        assert mobility_boundary("1/4", 1) == Fraction(3, 4)  # any phi >= 0
+
+    def test_backbone_limited_panel(self):
+        # K = 1 - phi - alpha with phi = -1/4 (Figure 3 right panel)
+        assert mobility_boundary("1/2", "-1/4") == Fraction(3, 4)
+        assert mobility_boundary("1/4", "-1/4") == Fraction(1)
+
+
+class TestComputedDiagram:
+    def test_grid_shapes(self):
+        diagram = compute_phase_diagram(0, grid_points=11)
+        assert diagram.exponents.shape == (11, 11)
+        assert diagram.regions.shape == (11, 11)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            compute_phase_diagram(0, grid_points=1)
+
+    def test_monotone_in_k(self):
+        """Capacity exponents are non-decreasing in K at fixed alpha."""
+        diagram = compute_phase_diagram(0, grid_points=11)
+        assert np.all(np.diff(diagram.exponents, axis=0) >= 0)
+
+    def test_monotone_in_alpha(self):
+        """Capacity exponents are non-increasing in alpha at fixed K."""
+        diagram = compute_phase_diagram(0, grid_points=11)
+        assert np.all(np.diff(diagram.exponents, axis=1) <= 0)
+
+    def test_regions_split_along_boundary(self):
+        diagram = compute_phase_diagram(0, grid_points=21)
+        boundary = diagram.boundary_curve()
+        for col, (alpha, k_star) in enumerate(zip(diagram.alphas, boundary)):
+            for row, big_k in enumerate(diagram.bs_exponents):
+                region = diagram.regions[row, col]
+                if big_k < float(k_star) - 1e-12:
+                    assert region == "mobility"
+                elif big_k > float(k_star) + 1e-12:
+                    assert region == "infrastructure"
+
+    def test_ascii_render(self):
+        text = compute_phase_diagram(0, grid_points=5).ascii_render()
+        assert "M" in text and "I" in text
+        assert "alpha" in text

@@ -1,0 +1,126 @@
+"""Unit tests for the SINR physical interference model (extension)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.wireless.physical_model import GreedySINRScheduler, PhysicalModel
+from repro.wireless.scheduler import GreedyMatchingScheduler
+
+
+class TestModelBasics:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PhysicalModel(path_loss_exponent=2.0)
+        with pytest.raises(ValueError):
+            PhysicalModel(sinr_threshold=0.0)
+        with pytest.raises(ValueError):
+            PhysicalModel(tx_power=0.0)
+
+    def test_gain_clamped_and_decaying(self):
+        model = PhysicalModel(path_loss_exponent=4.0, near_field=1e-3)
+        gains = model.gain(np.array([0.0, 1e-4, 0.1, 0.5]))
+        # near-field clamp: finite and equal below the clamp distance
+        assert gains[0] == gains[1] == pytest.approx(1e-3 ** -4)
+        assert gains[2] == pytest.approx(0.1 ** -4)
+        assert gains[3] == pytest.approx(0.5 ** -4)
+        assert np.all(np.diff(gains) <= 0)
+
+    def test_invalid_near_field(self):
+        with pytest.raises(ValueError):
+            PhysicalModel(near_field=0.0)
+        with pytest.raises(ValueError):
+            PhysicalModel(near_field=0.6)
+
+    def test_max_range(self):
+        model = PhysicalModel(
+            path_loss_exponent=4.0, sinr_threshold=2.0,
+            noise_power=1e-4, tx_power=1.0,
+        )
+        d = model.max_range()
+        # at the max range the noise-limited SINR equals beta exactly
+        sinr = model.tx_power * model.gain(np.array([d]))[0] / model.noise_power
+        assert sinr == pytest.approx(2.0, rel=1e-6)
+
+
+class TestFeasibility:
+    def test_single_close_link_feasible(self):
+        model = PhysicalModel()
+        positions = np.array([[0.1, 0.1], [0.12, 0.1]])
+        assert model.is_feasible_schedule(positions, [(0, 1)])
+
+    def test_interference_breaks_link(self):
+        model = PhysicalModel(sinr_threshold=2.0)
+        # receiver 1 is equidistant from its transmitter 0 and interferer 2:
+        # SINR = 1 < beta
+        positions = np.array([[0.10, 0.1], [0.15, 0.1], [0.20, 0.1], [0.5, 0.5]])
+        assert not model.is_feasible_schedule(positions, [(0, 1), (2, 3)])
+
+    def test_distant_links_feasible(self):
+        model = PhysicalModel(noise_power=1e-6)
+        positions = np.array(
+            [[0.10, 0.1], [0.11, 0.1], [0.60, 0.6], [0.61, 0.6]]
+        )
+        assert model.is_feasible_schedule(positions, [(0, 1), (2, 3)])
+
+    def test_node_reuse_infeasible(self):
+        model = PhysicalModel()
+        positions = np.array([[0.1, 0.1], [0.12, 0.1], [0.14, 0.1]])
+        assert not model.is_feasible_schedule(positions, [(0, 1), (1, 2)])
+
+    def test_sinr_values_ordering(self):
+        model = PhysicalModel()
+        positions = np.array(
+            [[0.1, 0.1], [0.11, 0.1], [0.4, 0.4], [0.45, 0.4]]
+        )
+        sinrs = model.link_sinrs(positions, [(0, 1), (2, 3)])
+        assert sinrs.shape == (2,)
+        assert sinrs[0] > sinrs[1]  # shorter link decodes better
+
+
+class TestGreedySINRScheduler:
+    def test_schedule_is_sinr_feasible(self, rng):
+        model = PhysicalModel(sinr_threshold=2.0, noise_power=1e-5)
+        scheduler = GreedySINRScheduler(0.06, model)
+        positions = rng.random((150, 2))
+        schedule = scheduler.schedule(positions)
+        assert len(schedule) > 0
+        assert model.is_feasible_schedule(positions, schedule.pairs)
+
+    def test_pairs_node_disjoint(self, rng):
+        scheduler = GreedySINRScheduler(0.08)
+        positions = rng.random((100, 2))
+        nodes = [n for pair in scheduler.schedule(positions).pairs for n in pair]
+        assert len(nodes) == len(set(nodes))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            GreedySINRScheduler(0.0)
+
+    def test_higher_threshold_schedules_fewer(self, rng):
+        positions = rng.random((200, 2))
+        lenient = GreedySINRScheduler(
+            0.05, PhysicalModel(sinr_threshold=1.5)
+        ).schedule(positions)
+        strict = GreedySINRScheduler(
+            0.05, PhysicalModel(sinr_threshold=20.0)
+        ).schedule(positions)
+        assert len(strict) <= len(lenient)
+
+    def test_concurrency_scales_like_protocol_model(self):
+        """The protocol-model equivalence: concurrency under both models
+        grows at the same order as n (Theta(n) at range c/sqrt(n))."""
+        counts = {"protocol": [], "physical": []}
+        for n in (200, 800):
+            r = 0.5 / math.sqrt(n)
+            positions = np.random.default_rng(n).random((n, 2))
+            protocol = GreedyMatchingScheduler(r, delta=1.0).schedule(positions)
+            physical = GreedySINRScheduler(
+                r, PhysicalModel(sinr_threshold=3.0, noise_power=1e-9)
+            ).schedule(positions)
+            counts["protocol"].append(len(protocol))
+            counts["physical"].append(len(physical))
+        for kind in counts:
+            growth = counts[kind][1] / max(counts[kind][0], 1)
+            assert 2.0 < growth < 8.0  # ~4x for 4x nodes

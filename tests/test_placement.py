@@ -1,0 +1,114 @@
+"""Unit tests for base-station placement schemes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.torus import pairwise_distances, torus_distance
+from repro.infrastructure.placement import (
+    hexagonal_cluster_placement,
+    matched_placement,
+    regular_grid_placement,
+    uniform_placement,
+)
+from repro.mobility.clustered import place_home_points
+from repro.mobility.shapes import UniformDiskShape
+
+
+class TestMatched:
+    def test_count_and_domain(self, rng):
+        model = place_home_points(rng, n=200, m=8, radius=0.03)
+        bs = matched_placement(rng, 40, model, UniformDiskShape(1.0), 0.02)
+        assert bs.shape == (40, 2)
+        assert np.all((bs >= 0) & (bs < 1))
+
+    def test_without_blur_sits_in_clusters(self, rng):
+        model = place_home_points(rng, n=100, m=4, radius=0.05)
+        bs = matched_placement(rng, 30, model)
+        distances = pairwise_distances(bs, model.centers)
+        assert np.all(distances.min(axis=1) <= 0.05 + 1e-9)
+
+    def test_blur_stays_within_mobility_radius(self, rng):
+        model = place_home_points(rng, n=100, m=4, radius=0.05)
+        scale = 0.02
+        bs = matched_placement(rng, 30, model, UniformDiskShape(1.0), scale)
+        distances = pairwise_distances(bs, model.centers)
+        assert np.all(distances.min(axis=1) <= 0.05 + scale + 1e-9)
+
+    def test_invalid_k(self, rng):
+        model = place_home_points(rng, n=10, m=2, radius=0.05)
+        with pytest.raises(ValueError):
+            matched_placement(rng, 0, model)
+
+
+class TestUniform:
+    def test_count(self, rng):
+        assert uniform_placement(rng, 17).shape == (17, 2)
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            uniform_placement(rng, 0)
+
+
+class TestRegularGrid:
+    def test_exact_count(self):
+        for k in (1, 2, 5, 9, 16, 23):
+            assert regular_grid_placement(k).shape == (k, 2)
+
+    def test_perfect_square_is_lattice(self):
+        bs = regular_grid_placement(9)
+        xs = np.unique(np.round(bs[:, 0], 6))
+        assert len(xs) == 3
+
+    def test_deterministic(self):
+        assert np.array_equal(regular_grid_placement(7), regular_grid_placement(7))
+
+    def test_well_separated(self):
+        bs = regular_grid_placement(16)
+        distances = pairwise_distances(bs)
+        np.fill_diagonal(distances, np.inf)
+        assert distances.min() >= 0.2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            regular_grid_placement(0)
+
+
+class TestHexagonalClusterPlacement:
+    def test_count_per_cluster(self):
+        centers = np.array([[0.25, 0.25], [0.75, 0.75]])
+        bs = hexagonal_cluster_placement(centers, 0.1, 7)
+        assert bs.shape == (14, 2)
+
+    def test_single_bs_at_center(self):
+        centers = np.array([[0.3, 0.6]])
+        bs = hexagonal_cluster_placement(centers, 0.1, 1)
+        assert np.allclose(bs, centers)
+
+    def test_stations_near_their_cluster(self):
+        centers = np.array([[0.2, 0.2], [0.8, 0.8]])
+        radius = 0.08
+        bs = hexagonal_cluster_placement(centers, radius, 5)
+        for idx, center in enumerate(centers):
+            mine = bs[idx * 5:(idx + 1) * 5]
+            assert np.all(torus_distance(mine, center) <= radius * 1.1 + 1e-9)
+
+    def test_lattice_is_well_spread(self):
+        """Nearest-BS cells should have comparable populations: check the
+        minimum pairwise BS distance is a reasonable fraction of the pitch
+        expected from equal-area cells."""
+        centers = np.array([[0.5, 0.5]])
+        radius, per_cluster = 0.2, 12
+        bs = hexagonal_cluster_placement(centers, radius, per_cluster)
+        distances = pairwise_distances(bs)
+        np.fill_diagonal(distances, np.inf)
+        expected_pitch = np.sqrt(
+            2 * np.pi * radius ** 2 / per_cluster / np.sqrt(3)
+        )
+        assert distances.min() >= 0.7 * expected_pitch
+
+    def test_invalid_args(self):
+        centers = np.zeros((1, 2))
+        with pytest.raises(ValueError):
+            hexagonal_cluster_placement(centers, 0.0, 3)
+        with pytest.raises(ValueError):
+            hexagonal_cluster_placement(centers, 0.1, 0)

@@ -1,0 +1,197 @@
+"""Unit tests for mobility processes (Definition 2 stationarity)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.torus import torus_distance
+from repro.mobility.processes import (
+    IIDAroundHome,
+    MetropolisWalkAroundHome,
+    StaticProcess,
+    WaypointAroundHome,
+)
+from repro.mobility.shapes import ConeShape, UniformDiskShape
+
+
+def make_homes(rng, count=40):
+    return rng.random((count, 2))
+
+
+PROCESS_FACTORIES = {
+    "iid": lambda h, s, sc, r: IIDAroundHome(h, s, sc, r),
+    "metropolis": lambda h, s, sc, r: MetropolisWalkAroundHome(h, s, sc, r),
+    "waypoint": lambda h, s, sc, r: WaypointAroundHome(h, s, sc, r),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(PROCESS_FACTORIES))
+class TestCommonContract:
+    def test_positions_shape(self, kind, rng):
+        homes = make_homes(rng)
+        proc = PROCESS_FACTORIES[kind](homes, UniformDiskShape(1.0), 0.1, rng)
+        assert proc.positions().shape == (40, 2)
+        assert proc.count == 40
+
+    def test_step_returns_positions(self, kind, rng):
+        homes = make_homes(rng)
+        proc = PROCESS_FACTORIES[kind](homes, UniformDiskShape(1.0), 0.1, rng)
+        new = proc.step()
+        assert np.allclose(new, proc.positions())
+
+    def test_bounded_distance_from_home(self, kind, rng):
+        """Definition 2: movement stays within D/f of the home-point."""
+        homes = make_homes(rng)
+        scale = 0.07
+        proc = PROCESS_FACTORIES[kind](homes, UniformDiskShape(1.0), scale, rng)
+        for _ in range(20):
+            positions = proc.step()
+            assert np.all(torus_distance(positions, homes) <= scale + 1e-9)
+
+    def test_positions_on_torus(self, kind, rng):
+        homes = make_homes(rng)
+        proc = PROCESS_FACTORIES[kind](homes, UniformDiskShape(1.0), 0.2, rng)
+        positions = proc.step()
+        assert np.all((positions >= 0) & (positions < 1))
+
+    def test_home_points_read_only(self, kind, rng):
+        homes = make_homes(rng)
+        proc = PROCESS_FACTORIES[kind](homes, UniformDiskShape(1.0), 0.1, rng)
+        with pytest.raises(ValueError):
+            proc.home_points[0, 0] = 99.0
+
+    def test_invalid_scale(self, kind, rng):
+        with pytest.raises(ValueError):
+            PROCESS_FACTORIES[kind](make_homes(rng), UniformDiskShape(1.0), 0.0, rng)
+
+
+class TestStationaryDistribution:
+    def test_iid_mean_radius_matches_shape(self, rng):
+        homes = np.full((3000, 2), 0.5)
+        proc = IIDAroundHome(homes, UniformDiskShape(1.0), 0.2, rng)
+        radii = torus_distance(proc.step(), homes)
+        # uniform disk: E[r] = 2R/3 with R = 0.2
+        assert float(radii.mean()) == pytest.approx(2 * 0.2 / 3, rel=0.05)
+
+    def test_metropolis_long_run_matches_cone(self, rng):
+        """The Metropolis walk must converge to the cone stationary law:
+        E[r] = D/2 at unit scale."""
+        homes = np.full((400, 2), 0.5)
+        proc = MetropolisWalkAroundHome(
+            homes, ConeShape(1.0), 0.1, rng, step_fraction=0.4, burn_in=64
+        )
+        radii = []
+        for _ in range(50):
+            radii.append(torus_distance(proc.step(), homes) / 0.1)
+        mean_r = float(np.mean(radii))
+        assert mean_r == pytest.approx(0.5, rel=0.1)
+
+    def test_metropolis_moves(self, rng):
+        homes = make_homes(rng)
+        proc = MetropolisWalkAroundHome(homes, UniformDiskShape(1.0), 0.1, rng)
+        before = proc.positions().copy()
+        proc.step()
+        assert not np.allclose(before, proc.positions())
+
+    def test_metropolis_is_time_correlated(self, rng):
+        """Unlike i.i.d., successive positions must be close together."""
+        homes = make_homes(rng, 100)
+        scale = 0.1
+        proc = MetropolisWalkAroundHome(
+            homes, UniformDiskShape(1.0), scale, rng, step_fraction=0.1
+        )
+        before = proc.positions().copy()
+        after = proc.step()
+        moved = torus_distance(after, before)
+        assert float(np.median(moved)) < 0.5 * scale
+
+    def test_waypoint_speed_bound(self, rng):
+        homes = make_homes(rng, 60)
+        speed = 0.005
+        proc = WaypointAroundHome(homes, UniformDiskShape(1.0), 0.1, rng, speed=speed)
+        before = proc.positions().copy()
+        after = proc.step()
+        assert np.all(torus_distance(after, before) <= speed + 1e-9)
+
+    def test_waypoint_invalid_speed(self, rng):
+        with pytest.raises(ValueError):
+            WaypointAroundHome(
+                make_homes(rng), UniformDiskShape(1.0), 0.1, rng, speed=0.0
+            )
+
+
+class TestStatic:
+    def test_never_moves(self, rng):
+        homes = make_homes(rng)
+        proc = StaticProcess(homes)
+        first = proc.positions().copy()
+        for _ in range(5):
+            assert np.allclose(proc.step(), first)
+
+
+class TestClassicalSpecialCases:
+    """Brownian motion and the hybrid random walk (Remark 4)."""
+
+    def test_brownian_stays_on_torus(self, rng):
+        from repro.mobility.processes import BrownianMotion
+
+        proc = BrownianMotion(make_homes(rng), sigma=0.05, rng=rng)
+        for _ in range(10):
+            positions = proc.step()
+            assert np.all((positions >= 0) & (positions < 1))
+
+    def test_brownian_step_scale(self, rng):
+        from repro.mobility.processes import BrownianMotion
+
+        proc = BrownianMotion(make_homes(rng, 500), sigma=0.01, rng=rng)
+        before = proc.positions().copy()
+        after = proc.step()
+        moved = torus_distance(after, before)
+        # isotropic 2-D Gaussian: E[|step|] = sigma * sqrt(pi/2)
+        assert float(moved.mean()) == pytest.approx(
+            0.01 * np.sqrt(np.pi / 2), rel=0.15
+        )
+
+    def test_brownian_mixes_to_uniform(self, rng):
+        from repro.mobility.processes import BrownianMotion
+
+        homes = np.full((2000, 2), 0.5)  # all start at the centre
+        proc = BrownianMotion(homes, sigma=0.2, rng=rng)
+        for _ in range(30):
+            proc.step()
+        positions = proc.positions()
+        # roughly uniform: each quadrant holds ~1/4 of the nodes
+        quadrant = (positions[:, 0] < 0.5) & (positions[:, 1] < 0.5)
+        assert 0.15 < float(quadrant.mean()) < 0.35
+
+    def test_brownian_invalid_sigma(self, rng):
+        from repro.mobility.processes import BrownianMotion
+
+        with pytest.raises(ValueError):
+            BrownianMotion(make_homes(rng), sigma=0.0, rng=rng)
+
+    def test_hybrid_walk_jumps_to_adjacent_cells(self, rng):
+        from repro.mobility.processes import HybridRandomWalk
+
+        side = 8
+        proc = HybridRandomWalk(make_homes(rng, 200), side, rng)
+        before = np.floor(proc.positions() * side).astype(int)
+        after = np.floor(proc.step() * side).astype(int)
+        hop = np.abs(after - before)
+        hop = np.minimum(hop, side - hop)  # wrap-around distance
+        assert np.all(hop.sum(axis=1) == 1)  # exactly one axis, one cell
+
+    def test_hybrid_walk_stationary_uniform(self, rng):
+        from repro.mobility.processes import HybridRandomWalk
+
+        homes = np.full((3000, 2), 0.1)
+        proc = HybridRandomWalk(homes, 4, rng)
+        for _ in range(40):
+            proc.step()
+        positions = proc.positions()
+        assert 0.4 < float((positions[:, 0] < 0.5).mean()) < 0.6
+
+    def test_hybrid_walk_invalid_side(self, rng):
+        from repro.mobility.processes import HybridRandomWalk
+
+        with pytest.raises(ValueError):
+            HybridRandomWalk(make_homes(rng), 0, rng)

@@ -1,0 +1,215 @@
+"""Unit tests for parameter validation and regime classification."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.order import Order
+from repro.core.regimes import InvalidParameters, MobilityRegime, NetworkParameters
+
+
+def strong_params(**overrides):
+    kwargs = dict(alpha="1/4", cluster_exponent=1)
+    kwargs.update(overrides)
+    return NetworkParameters(**kwargs)
+
+
+def weak_params(**overrides):
+    kwargs = dict(
+        alpha="1/2", cluster_exponent="1/2", cluster_radius_exponent="1/2"
+    )
+    kwargs.update(overrides)
+    return NetworkParameters(**kwargs)
+
+
+def trivial_params(**overrides):
+    kwargs = dict(
+        alpha="3/4",
+        cluster_exponent="1/2",
+        cluster_radius_exponent="3/8",
+        validate=False,
+    )
+    kwargs.update(overrides)
+    return NetworkParameters(**kwargs)
+
+
+class TestValidation:
+    def test_valid_defaults(self):
+        assert strong_params().constraint_violations() == []
+
+    def test_alpha_out_of_range(self):
+        with pytest.raises(InvalidParameters):
+            NetworkParameters(alpha="3/4")
+
+    def test_alpha_negative(self):
+        with pytest.raises(InvalidParameters):
+            NetworkParameters(alpha=-1)
+
+    def test_cluster_exponent_out_of_range(self):
+        with pytest.raises(InvalidParameters):
+            NetworkParameters(alpha="1/4", cluster_exponent=2)
+
+    def test_radius_exceeds_alpha(self):
+        with pytest.raises(InvalidParameters):
+            NetworkParameters(
+                alpha="1/4", cluster_exponent="1/4", cluster_radius_exponent="1/2"
+            )
+
+    def test_overlapping_clusters_rejected(self):
+        # M - 2R >= 0 with M < 1 must be rejected
+        with pytest.raises(InvalidParameters):
+            NetworkParameters(
+                alpha="1/2", cluster_exponent="1/2", cluster_radius_exponent="1/8"
+            )
+
+    def test_uniform_home_points_need_no_radius(self):
+        params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+        assert params.constraint_violations() == []
+
+    def test_k_above_n_rejected(self):
+        with pytest.raises(InvalidParameters):
+            NetworkParameters(alpha="1/4", bs_exponent="3/2")
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(InvalidParameters):
+            NetworkParameters(alpha="1/4", bs_exponent=-1)
+
+    def test_k_must_exceed_m_for_clustered(self):
+        with pytest.raises(InvalidParameters):
+            NetworkParameters(
+                alpha="1/2",
+                cluster_exponent="1/2",
+                cluster_radius_exponent="1/2",
+                bs_exponent="1/4",
+            )
+
+    def test_validate_false_bypasses(self):
+        params = NetworkParameters(alpha="3/4", validate=False)
+        assert params.constraint_violations()  # still reported, not raised
+
+
+class TestDerivedOrders:
+    def test_f(self):
+        assert strong_params().f == Order("1/4")
+
+    def test_gamma_with_clusters(self):
+        assert weak_params().gamma == Order("-1/2", 1)
+
+    def test_gamma_constant_clusters(self):
+        params = NetworkParameters(
+            alpha=0, cluster_exponent=0, cluster_radius_exponent=0, validate=False
+        )
+        assert params.gamma == Order.one()
+
+    def test_gamma_tilde(self):
+        # M=1/2, R=1/2: exponent -2R-(1-M) = -3/2, one log factor
+        assert weak_params().gamma_tilde == Order("-3/2", 1)
+
+    def test_gamma_tilde_no_log_when_uniform(self):
+        params = NetworkParameters(alpha="1/4", cluster_exponent=1)
+        assert params.gamma_tilde.log_exponent == 0
+
+    def test_mobility_strength(self):
+        # f*sqrt(gamma) = n^{1/4} * n^{-1/2} log^{1/2} = n^{-1/4} log^{1/2}
+        assert strong_params().mobility_strength == Order("-1/4", "1/2")
+
+    def test_k_requires_infrastructure(self):
+        with pytest.raises(InvalidParameters):
+            _ = strong_params().k
+
+    def test_c_is_mu_c_over_k(self):
+        params = strong_params(bs_exponent="7/8", backbone_exponent=1)
+        assert params.c == Order("1/8")
+
+    def test_nodes_per_cluster(self):
+        assert weak_params().nodes_per_cluster == Order("1/2")
+
+
+class TestClassification:
+    def test_strong(self):
+        assert strong_params().regime is MobilityRegime.STRONG
+
+    def test_strong_is_uniformly_dense(self):
+        assert strong_params().is_uniformly_dense
+
+    def test_weak(self):
+        assert weak_params().regime is MobilityRegime.WEAK
+
+    def test_weak_not_uniformly_dense(self):
+        assert not weak_params().is_uniformly_dense
+
+    def test_trivial(self):
+        assert trivial_params().regime is MobilityRegime.TRIVIAL
+
+    def test_alpha_equal_half_m_is_weak(self):
+        # alpha = M/2 exactly: f*sqrt(gamma) = log^{1/2} n = omega(1), so not
+        # strong; the in-cluster criterion then classifies it as weak.
+        params = NetworkParameters(
+            alpha="1/4", cluster_exponent="1/2", cluster_radius_exponent="1/4",
+            validate=False,  # M - 2R = 0 sits on the overlap boundary
+        )
+        assert params.regime is MobilityRegime.WEAK
+
+    def test_boundary_case_detected(self):
+        # alpha - R - (1-M)/2 = 0 exactly: the weak/trivial sliver
+        params = NetworkParameters(
+            alpha="1/2",
+            cluster_exponent="1/2",
+            cluster_radius_exponent="1/4",
+            validate=False,
+        )
+        assert params.regime is MobilityRegime.BOUNDARY
+
+    def test_classic_manet_special_case(self):
+        # i.i.d. mobility over the whole (dense) network: m=n, f=1
+        params = NetworkParameters(alpha=0, cluster_exponent=1)
+        assert params.regime is MobilityRegime.STRONG
+
+    @given(
+        alpha=st.fractions(min_value=0, max_value=Fraction(1, 2), max_denominator=8),
+        big_m=st.fractions(min_value=0, max_value=1, max_denominator=8),
+    )
+    def test_every_valid_family_classifies(self, alpha, big_m):
+        big_r = alpha  # maximal allowed radius exponent
+        if big_m < 1 and big_m - 2 * big_r >= 0:
+            return  # would violate the overlap constraint
+        params = NetworkParameters(
+            alpha=alpha,
+            cluster_exponent=big_m,
+            cluster_radius_exponent=big_r,
+        )
+        assert params.regime in MobilityRegime
+
+
+class TestRealization:
+    def test_counts(self):
+        realized = weak_params(bs_exponent="3/4").realize(256)
+        assert realized.n == 256
+        assert realized.m == 16
+        assert realized.k == 64
+        assert realized.c == pytest.approx(256 ** 0.25)
+        assert realized.f == pytest.approx(16.0)
+        assert realized.r == pytest.approx(1 / 16.0)
+
+    def test_no_infrastructure(self):
+        realized = strong_params().realize(100)
+        assert realized.k is None
+        assert realized.c is None
+
+    def test_m_capped_at_n(self):
+        realized = strong_params().realize(50)
+        assert realized.m <= 50
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            strong_params().realize(1)
+
+    def test_gamma_tilde_value(self):
+        realized = weak_params().realize(400)
+        assert realized.gamma_tilde > 0
+
+    def test_describe_mentions_regime(self):
+        assert "strong" in strong_params().describe()
+        assert "no BSs" in strong_params().describe()

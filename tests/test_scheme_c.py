@@ -1,0 +1,155 @@
+"""Unit tests for routing & scheduling scheme C (Definition 13 / Theorem 9)."""
+
+import numpy as np
+import pytest
+
+from repro.infrastructure.backbone import Backbone
+from repro.infrastructure.placement import hexagonal_cluster_placement
+from repro.mobility.clustered import place_home_points
+from repro.routing.scheme_c import SchemeC
+from repro.simulation.traffic import permutation_traffic
+
+
+def build_scheme(rng, n=120, m=4, k_per_cluster=4, radius=0.06, c=1.0):
+    model = place_home_points(rng, n=n, m=m, radius=radius)
+    bs = hexagonal_cluster_placement(model.centers, radius, k_per_cluster)
+    bs_cluster = np.repeat(np.arange(m), k_per_cluster)
+    backbone = Backbone(m * k_per_cluster, c)
+    scheme = SchemeC(
+        ms_positions=model.points,
+        bs_positions=bs,
+        ms_cluster=model.assignment,
+        bs_cluster=bs_cluster,
+        backbone=backbone,
+        delta=1.0,
+    )
+    return scheme, model
+
+
+class TestCellConstruction:
+    def test_every_ms_attached(self, rng):
+        scheme, _ = build_scheme(rng)
+        assert np.all(scheme.cell_of_ms >= 0)
+
+    def test_attachment_is_same_cluster(self, rng):
+        scheme, model = build_scheme(rng, m=3, k_per_cluster=5)
+        bs_cluster = np.repeat(np.arange(3), 5)
+        assert np.all(bs_cluster[scheme.cell_of_ms] == model.assignment)
+
+    def test_cell_range_positive_and_bounded(self, rng):
+        radius = 0.05
+        scheme, _ = build_scheme(rng, radius=radius)
+        assert 0 < scheme.cell_range <= 2.5 * radius
+
+    def test_population_partition(self, rng):
+        scheme, _ = build_scheme(rng, n=200)
+        assert scheme.cell_population().sum() == 200
+
+    def test_orphan_when_cluster_has_no_bs(self, rng):
+        model = place_home_points(rng, n=20, m=2, radius=0.05)
+        bs = hexagonal_cluster_placement(model.centers[:1], 0.05, 3)
+        scheme = SchemeC(
+            ms_positions=model.points,
+            bs_positions=bs,
+            ms_cluster=model.assignment,
+            bs_cluster=np.zeros(3, dtype=int),
+            backbone=Backbone(3, 1.0),
+        )
+        orphans = np.sum(scheme.cell_of_ms < 0)
+        assert orphans == np.sum(model.assignment == 1)
+
+
+class TestTDMAGrouping:
+    def test_group_count_constant_in_k(self, rng):
+        """The colour count must stay Theta(1) as cells multiply (bounded
+        degree of the cell-interference graph, Theorem 9)."""
+        small, _ = build_scheme(rng, m=2, k_per_cluster=3)
+        large, _ = build_scheme(rng, m=8, k_per_cluster=8, radius=0.04)
+        assert large.group_count <= max(4 * small.group_count, 40)
+
+    def test_groups_cover_all_cells(self, rng):
+        scheme, _ = build_scheme(rng)
+        assert scheme.group_count >= 1
+
+
+class TestSustainableRate:
+    def test_positive(self, rng):
+        scheme, _ = build_scheme(rng)
+        traffic = permutation_traffic(rng, 120)
+        result = scheme.sustainable_rate(traffic)
+        assert result.per_node_rate > 0
+        assert result.bottleneck in ("access", "backbone")
+
+    def test_orphans_give_zero(self, rng):
+        model = place_home_points(rng, n=20, m=2, radius=0.05)
+        bs = hexagonal_cluster_placement(model.centers[:1], 0.05, 3)
+        scheme = SchemeC(
+            ms_positions=model.points,
+            bs_positions=bs,
+            ms_cluster=model.assignment,
+            bs_cluster=np.zeros(3, dtype=int),
+            backbone=Backbone(3, 1.0),
+        )
+        traffic = permutation_traffic(rng, 20)
+        result = scheme.sustainable_rate(traffic)
+        assert result.per_node_rate == 0.0
+        assert result.bottleneck == "orphan-ms"
+
+    def test_access_rate_formula(self, rng):
+        scheme, _ = build_scheme(rng, c=100.0)
+        traffic = permutation_traffic(rng, 120)
+        result = scheme.sustainable_rate(traffic)
+        expected = 1.0 / (
+            2.0 * scheme.group_count * scheme.cell_population().max()
+        )
+        assert result.details["access_rate"] == pytest.approx(expected)
+
+    def test_more_bs_increases_access_rate(self):
+        """Theorem 9: access rate scales like k/n -- more cells, fewer MSs
+        per cell, higher rate (with ample backbone).  Needs well-separated
+        clusters and enough MSs so the TDMA group count stays constant
+        while the per-cell population drops."""
+        from repro.geometry.torus import disk_sample
+
+        centers = np.array([[0.25, 0.25], [0.25, 0.75], [0.75, 0.25], [0.75, 0.75]])
+        n, m, radius = 600, 4, 0.04
+        rng = np.random.default_rng(1)
+        assignment = rng.integers(0, m, size=n)
+        positions = disk_sample(rng, centers[assignment], radius)
+        traffic = permutation_traffic(np.random.default_rng(2), n)
+
+        def rate(k_per_cluster):
+            bs = hexagonal_cluster_placement(centers, radius, k_per_cluster)
+            scheme = SchemeC(
+                ms_positions=positions,
+                bs_positions=bs,
+                ms_cluster=assignment,
+                bs_cluster=np.repeat(np.arange(m), k_per_cluster),
+                backbone=Backbone(m * k_per_cluster, 1000.0),
+            )
+            return scheme.sustainable_rate(traffic).per_node_rate
+
+        assert rate(24) > rate(3)
+
+    def test_starved_backbone_binds(self, rng):
+        scheme, _ = build_scheme(rng, c=1e-7)
+        traffic = permutation_traffic(rng, 120)
+        assert scheme.sustainable_rate(traffic).bottleneck == "backbone"
+
+    def test_session_count_mismatch(self, rng):
+        scheme, _ = build_scheme(rng)
+        with pytest.raises(ValueError):
+            scheme.sustainable_rate(permutation_traffic(rng, 5))
+
+    def test_invalid_delta(self, rng):
+        model = place_home_points(rng, n=10, m=1, radius=0.05)
+        bs = hexagonal_cluster_placement(model.centers, 0.05, 2)
+        with pytest.raises(ValueError):
+            SchemeC(
+                ms_positions=model.points,
+                bs_positions=bs,
+                ms_cluster=model.assignment,
+                bs_cluster=np.zeros(2, dtype=int),
+                backbone=Backbone(2, 1.0),
+                delta=0.0,
+            )

@@ -1,0 +1,178 @@
+"""Unit tests for mobility shapes ``s(d)``."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.shapes import (
+    ConeShape,
+    QuadraticDecayShape,
+    TruncatedGaussianShape,
+    UniformDiskShape,
+)
+
+ALL_SHAPES = [
+    UniformDiskShape(1.0),
+    ConeShape(1.0),
+    TruncatedGaussianShape(1.0, sigma=0.4),
+    QuadraticDecayShape(1.0),
+]
+
+
+@pytest.mark.parametrize("shape", ALL_SHAPES, ids=lambda s: type(s).__name__)
+class TestPaperAssumptions:
+    def test_validate_passes(self, shape):
+        shape.validate()
+
+    def test_non_increasing(self, shape):
+        grid = np.linspace(0, shape.support_radius, 100)
+        values = shape.density(grid)
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_finite_support(self, shape):
+        beyond = shape.density(np.array([shape.support_radius * 1.5]))
+        assert beyond[0] == 0.0
+
+    def test_positive_at_origin(self, shape):
+        assert shape.density(np.array([0.0]))[0] > 0
+
+    def test_normalization_positive(self, shape):
+        assert shape.normalization() > 0
+
+
+@pytest.mark.parametrize("shape", ALL_SHAPES, ids=lambda s: type(s).__name__)
+class TestSampling:
+    def test_offsets_within_support(self, shape, rng):
+        offsets = shape.sample_offsets(rng, 500, scale=0.2)
+        radii = np.linalg.norm(offsets, axis=1)
+        assert np.all(radii <= 0.2 * shape.support_radius + 1e-9)
+
+    def test_scale_contracts(self, shape, rng):
+        small = shape.sample_offsets(rng, 300, scale=0.01)
+        assert np.all(np.linalg.norm(small, axis=1) <= 0.01 * shape.support_radius + 1e-9)
+
+    def test_isotropy(self, shape, rng):
+        offsets = shape.sample_offsets(rng, 4000, scale=1.0)
+        assert abs(float(np.mean(offsets[:, 0]))) < 0.05
+        assert abs(float(np.mean(offsets[:, 1]))) < 0.05
+
+
+class TestUniformDiskSpecifics:
+    def test_mean_radius(self, rng):
+        # uniform disk: E[r] = 2D/3
+        shape = UniformDiskShape(1.0)
+        offsets = shape.sample_offsets(rng, 8000, scale=1.0)
+        mean_r = float(np.mean(np.linalg.norm(offsets, axis=1)))
+        assert mean_r == pytest.approx(2 / 3, rel=0.03)
+
+    def test_normalization_is_disk_area(self):
+        shape = UniformDiskShape(2.0)
+        assert shape.normalization() == pytest.approx(np.pi * 4.0, rel=1e-3)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            UniformDiskShape(0)
+
+
+class TestGenericSamplerMatchesAnalytic:
+    def test_cone_mean_radius(self, rng):
+        # cone: radial pdf ~ (1 - r) * r on [0,1]; E[r] = 1/2
+        shape = ConeShape(1.0)
+        offsets = shape.sample_offsets(rng, 8000, scale=1.0)
+        mean_r = float(np.mean(np.linalg.norm(offsets, axis=1)))
+        assert mean_r == pytest.approx(0.5, rel=0.04)
+
+
+class TestContactKernel:
+    @pytest.mark.parametrize("shape", ALL_SHAPES, ids=lambda s: type(s).__name__)
+    def test_support_is_twice_radius(self, shape):
+        big_d = shape.support_radius
+        assert shape.contact_kernel(np.array([2.2 * big_d]))[0] == 0.0
+        assert shape.contact_kernel(np.array([0.0]))[0] > 0
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES, ids=lambda s: type(s).__name__)
+    def test_kernel_non_increasing(self, shape):
+        grid = np.linspace(0, 2 * shape.support_radius, 50)
+        values = shape.contact_kernel(grid)
+        assert np.all(np.diff(values) <= 1e-6)
+
+    def test_disk_kernel_at_zero_is_disk_area(self):
+        # eta(0) = integral of s^2 = disk area for the indicator shape
+        shape = UniformDiskShape(1.0)
+        assert shape.contact_kernel(np.array([0.0]))[0] == pytest.approx(
+            np.pi, rel=0.05
+        )
+
+    def test_disk_kernel_matches_lens_area(self):
+        # eta(d) for two unit disks is the lens (intersection) area
+        shape = UniformDiskShape(1.0)
+        d = 1.0
+        expected = 2 * np.arccos(d / 2) - (d / 2) * np.sqrt(4 - d ** 2)
+        assert shape.contact_kernel(np.array([d]))[0] == pytest.approx(
+            expected, rel=0.05
+        )
+
+    def test_kernel_monte_carlo_agreement(self, rng):
+        """eta(d)/Z^2 should match the empirical probability density that two
+        independently-moving nodes land near each other."""
+        shape = ConeShape(1.0)
+        z = shape.normalization()
+        d = 0.6
+        trials = 40000
+        a = shape.sample_offsets(rng, trials, 1.0)
+        b = shape.sample_offsets(rng, trials, 1.0) + np.array([d, 0.0])
+        eps = 0.1
+        hits = np.sum(np.linalg.norm(a - b, axis=1) <= eps)
+        empirical = hits / trials / (np.pi * eps ** 2)
+        predicted = shape.contact_kernel(np.array([d]))[0] / z ** 2
+        assert empirical == pytest.approx(predicted, rel=0.25)
+
+
+class TestValidationRejectsBadShapes:
+    def test_increasing_shape_rejected(self):
+        class Increasing(UniformDiskShape):
+            def density(self, d):
+                d = np.asarray(d, dtype=float)
+                return np.where(d <= self.support_radius, 0.1 + d, 0.0)
+
+        with pytest.raises(ValueError):
+            Increasing(1.0).validate()
+
+    def test_zero_at_origin_rejected(self):
+        class ZeroOrigin(UniformDiskShape):
+            def density(self, d):
+                return np.zeros_like(np.asarray(d, dtype=float))
+
+        with pytest.raises(ValueError):
+            ZeroOrigin(1.0).validate()
+
+
+class TestProposition1:
+    """The paper's Proposition 1: ``int_O s(f ||Y - X||) dY ~ 1/f^2``."""
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES, ids=lambda s: type(s).__name__)
+    def test_integral_scales_inverse_f_squared(self, shape):
+        # numeric 2-D quadrature of s(f * |Y|) over the torus
+        def integral(f):
+            grid = np.linspace(0, 1, 400, endpoint=False) + 0.5 / 400
+            xx, yy = np.meshgrid(grid, grid)
+            dx = np.minimum(xx, 1 - xx)  # torus distance to the origin
+            dy = np.minimum(yy, 1 - yy)
+            d = np.sqrt(dx ** 2 + dy ** 2)
+            return float(shape.density(f * d).mean())  # cell area folded in
+
+        ratio = integral(4.0) / integral(8.0)
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_integral_constant_is_normalization(self):
+        # for large f the integral equals Z / f^2 with Z = int s
+        shape = UniformDiskShape(1.0)
+        f = 16.0
+        grid = np.linspace(0, 1, 1600, endpoint=False) + 0.5 / 1600
+        xx, yy = np.meshgrid(grid, grid)
+        dx = np.minimum(xx, 1 - xx)
+        dy = np.minimum(yy, 1 - yy)
+        d = np.sqrt(dx ** 2 + dy ** 2)
+        integral = float(shape.density(f * d).mean())
+        assert integral == pytest.approx(shape.normalization() / f ** 2, rel=0.02)

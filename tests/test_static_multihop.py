@@ -1,0 +1,106 @@
+"""Unit tests for the static multi-hop baseline (Gupta-Kumar / Corollary 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mobility.clustered import place_home_points
+from repro.routing.static_multihop import StaticMultihop
+from repro.simulation.traffic import permutation_traffic
+from repro.wireless.connectivity import critical_range
+
+
+class TestConstruction:
+    def test_invalid_args(self, rng):
+        pts = rng.random((10, 2))
+        with pytest.raises(ValueError):
+            StaticMultihop(pts, 0.0)
+        with pytest.raises(ValueError):
+            StaticMultihop(pts, 0.1, delta=0.0)
+
+
+class TestHopCount:
+    def test_direct_neighbor_one_hop(self):
+        pts = np.array([[0.1, 0.1], [0.15, 0.1]])
+        scheme = StaticMultihop(pts, 0.1)
+        assert scheme.hop_count(0, 1) == 1
+
+    def test_distance_over_range(self):
+        pts = np.array([[0.0, 0.0], [0.25, 0.0], [0.5, 0.0]])
+        scheme = StaticMultihop(pts, 0.26)
+        assert scheme.hop_count(0, 2) == 2
+
+    def test_disconnected_returns_none(self):
+        pts = np.array([[0.1, 0.1], [0.6, 0.6]])
+        scheme = StaticMultihop(pts, 0.05)
+        assert scheme.hop_count(0, 1) is None
+
+
+class TestConcurrencyBound:
+    def test_packing_formula(self):
+        pts = np.zeros((1000, 2))
+        scheme = StaticMultihop(pts, 0.1, delta=1.0)
+        assert scheme.concurrency_bound == pytest.approx(
+            min(500, 4 / (math.pi * 0.01))
+        )
+
+    def test_capped_by_half_n(self, rng):
+        pts = rng.random((10, 2))
+        scheme = StaticMultihop(pts, 0.001)
+        assert scheme.concurrency_bound == 5.0
+
+
+class TestSustainableRate:
+    def test_connected_uniform_network(self, rng):
+        n = 300
+        pts = rng.random((n, 2))
+        scheme = StaticMultihop(pts, 2.0 * critical_range(n))
+        traffic = permutation_traffic(rng, n)
+        result = scheme.sustainable_rate(traffic)
+        assert result.per_node_rate > 0
+        assert result.bottleneck == "interference"
+
+    def test_disconnected_gives_zero(self, rng):
+        n = 100
+        pts = rng.random((n, 2))
+        scheme = StaticMultihop(pts, 0.02)
+        traffic = permutation_traffic(rng, n)
+        result = scheme.sustainable_rate(traffic)
+        assert result.per_node_rate == 0.0
+        assert result.bottleneck == "disconnected"
+
+    def test_gupta_kumar_scaling(self):
+        """lambda ~ 1/sqrt(n log n): quadrupling n should cut the rate by
+        roughly half (up to log factors)."""
+        def rate(n, seed):
+            rng = np.random.default_rng(seed)
+            pts = rng.random((n, 2))
+            scheme = StaticMultihop(pts, 2.0 * critical_range(n))
+            return scheme.sustainable_rate(permutation_traffic(rng, n)).per_node_rate
+
+        small = np.median([rate(200, s) for s in range(3)])
+        large = np.median([rate(800, s) for s in range(3)])
+        ratio = small / large
+        assert 1.4 < ratio < 3.2  # ideal sqrt(4)=2 plus log drift
+
+    def test_clustered_network_pays_range_penalty(self, rng):
+        """Corollary 3: with clustered nodes the connecting range (and so
+        the per-hop interference footprint) is much larger, cutting rate."""
+        n = 400
+        uniform = place_home_points(rng, n=n, m=n, radius=0.0)
+        clustered = place_home_points(rng, n=n, m=6, radius=0.02)
+        traffic = permutation_traffic(rng, n)
+        gamma = math.log(6) / 6
+        rate_uniform = StaticMultihop(
+            uniform.points, 2.0 * critical_range(n)
+        ).sustainable_rate(traffic).per_node_rate
+        rate_clustered = StaticMultihop(
+            clustered.points, 2.0 * math.sqrt(gamma)
+        ).sustainable_rate(traffic).per_node_rate
+        assert 0 < rate_clustered < rate_uniform
+
+    def test_session_count_mismatch(self, rng):
+        scheme = StaticMultihop(rng.random((10, 2)), 0.3)
+        with pytest.raises(ValueError):
+            scheme.sustainable_rate(permutation_traffic(rng, 5))

@@ -1,0 +1,160 @@
+"""Unit tests for square tessellations and Manhattan cell routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.tessellation import (
+    SquareTessellation,
+    tessellation_for_area,
+    tessellation_for_cell_side,
+)
+
+
+class TestBasics:
+    def test_counts_and_sizes(self):
+        tess = SquareTessellation(4)
+        assert tess.cell_count == 16
+        assert tess.cell_side == pytest.approx(0.25)
+        assert tess.cell_area == pytest.approx(1 / 16)
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            SquareTessellation(0)
+
+    def test_cell_of_known_points(self):
+        tess = SquareTessellation(2)
+        # (x, y): col from x, row from y; flat = row * side + col
+        assert tess.cell_of(np.array([[0.1, 0.1]]))[0] == 0
+        assert tess.cell_of(np.array([[0.9, 0.1]]))[0] == 1
+        assert tess.cell_of(np.array([[0.1, 0.9]]))[0] == 2
+        assert tess.cell_of(np.array([[0.9, 0.9]]))[0] == 3
+
+    def test_cell_of_wraps(self):
+        tess = SquareTessellation(2)
+        assert tess.cell_of(np.array([[1.1, -0.1]]))[0] == tess.cell_of(
+            np.array([[0.1, 0.9]])
+        )[0]
+
+    def test_centers_land_in_their_cell(self):
+        tess = SquareTessellation(5)
+        centers = tess.centers()
+        assert np.array_equal(tess.cell_of(centers), np.arange(25))
+
+    def test_center_single(self):
+        tess = SquareTessellation(2)
+        assert np.allclose(tess.center(3), [0.75, 0.75])
+
+    def test_rowcol_roundtrip(self):
+        tess = SquareTessellation(7)
+        for flat in range(tess.cell_count):
+            row, col = tess.rowcol(flat)
+            assert tess.flat_index(row, col) == flat
+
+
+class TestOccupancy:
+    def test_counts_sum_to_n(self, rng):
+        tess = SquareTessellation(6)
+        pts = rng.random((100, 2))
+        assert tess.counts(pts).sum() == 100
+
+    def test_counts_empty(self):
+        tess = SquareTessellation(3)
+        assert tess.counts(np.empty((0, 2))).sum() == 0
+
+    def test_members_partition(self, rng):
+        tess = SquareTessellation(4)
+        pts = rng.random((60, 2))
+        members = tess.members(pts)
+        gathered = np.sort(np.concatenate(members))
+        assert np.array_equal(gathered, np.arange(60))
+
+    def test_members_agree_with_cell_of(self, rng):
+        tess = SquareTessellation(4)
+        pts = rng.random((40, 2))
+        cells = tess.cell_of(pts)
+        for cell, idx in enumerate(tess.members(pts)):
+            assert np.all(cells[idx] == cell)
+
+
+class TestNeighbors:
+    def test_four_neighbors(self):
+        tess = SquareTessellation(4)
+        assert len(set(tess.neighbors(5))) == 4
+
+    def test_wraparound_neighbors(self):
+        tess = SquareTessellation(3)
+        # corner cell 0 = (row 0, col 0)
+        neighbors = set(tess.neighbors(0))
+        assert tess.flat_index(2, 0) in neighbors  # wraps up
+        assert tess.flat_index(0, 2) in neighbors  # wraps left
+
+
+class TestManhattanRoute:
+    def test_same_cell(self):
+        tess = SquareTessellation(5)
+        assert tess.manhattan_route(7, 7) == [7]
+
+    def test_route_endpoints(self):
+        tess = SquareTessellation(5)
+        route = tess.manhattan_route(0, 18)
+        assert route[0] == 0 and route[-1] == 18
+
+    def test_route_is_contiguous(self):
+        tess = SquareTessellation(6)
+        route = tess.manhattan_route(1, 33)
+        for a, b in zip(route, route[1:]):
+            assert b in tess.neighbors(a)
+
+    def test_route_no_immediate_repeats(self):
+        tess = SquareTessellation(6)
+        route = tess.manhattan_route(2, 29)
+        assert all(a != b for a, b in zip(route, route[1:]))
+
+    def test_takes_short_way_around(self):
+        tess = SquareTessellation(10)
+        # col 0 -> col 9 should wrap (1 hop), not go the long way (9 hops)
+        route = tess.manhattan_route(tess.flat_index(0, 0), tess.flat_index(0, 9))
+        assert len(route) == 2
+
+    def test_horizontal_then_vertical(self):
+        tess = SquareTessellation(8)
+        start = tess.flat_index(1, 1)
+        end = tess.flat_index(4, 5)
+        route = tess.manhattan_route(start, end)
+        rows = [tess.rowcol(c)[0] for c in route]
+        # row stays constant until the corner, then changes monotonically
+        first_change = next(i for i, r in enumerate(rows) if r != rows[0])
+        assert all(r == rows[0] for r in rows[:first_change])
+
+    @given(
+        side=st.integers(2, 9),
+        start=st.integers(0, 80),
+        end=st.integers(0, 80),
+    )
+    def test_route_length_bounded(self, side, start, end):
+        tess = SquareTessellation(side)
+        start %= tess.cell_count
+        end %= tess.cell_count
+        route = tess.manhattan_route(start, end)
+        # at most side/2 hops per axis (short way around) plus endpoints
+        assert len(route) <= side + 1
+        assert route[0] == start and route[-1] == end
+
+
+class TestFactories:
+    def test_for_area(self):
+        tess = tessellation_for_area(0.01)
+        assert tess.cell_area >= 0.01
+
+    def test_for_area_invalid(self):
+        with pytest.raises(ValueError):
+            tessellation_for_area(0)
+
+    def test_for_cell_side(self):
+        tess = tessellation_for_cell_side(0.3)
+        assert tess.cell_side >= 0.3
+
+    def test_for_cell_side_large(self):
+        assert tessellation_for_cell_side(1.0).cells_per_side == 1

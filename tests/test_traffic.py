@@ -1,0 +1,62 @@
+"""Unit tests for the permutation traffic model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.traffic import PermutationTraffic, permutation_traffic
+
+
+class TestSampling:
+    def test_every_node_source_and_destination(self, rng):
+        traffic = permutation_traffic(rng, 50)
+        destinations = sorted(traffic.destination.tolist())
+        assert destinations == list(range(50))
+
+    def test_no_fixed_points(self, rng):
+        traffic = permutation_traffic(rng, 50)
+        assert np.all(traffic.destination != np.arange(50))
+
+    @given(st.integers(2, 200))
+    def test_always_valid_for_any_n(self, n):
+        traffic = permutation_traffic(np.random.default_rng(0), n)
+        assert traffic.session_count == n
+
+    def test_n_below_two_rejected(self, rng):
+        with pytest.raises(ValueError):
+            permutation_traffic(rng, 1)
+
+    def test_randomness(self):
+        a = permutation_traffic(np.random.default_rng(1), 30)
+        b = permutation_traffic(np.random.default_rng(2), 30)
+        assert not np.array_equal(a.destination, b.destination)
+
+
+class TestValidation:
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            PermutationTraffic(np.array([1, 1, 0]))
+
+    def test_rejects_fixed_point(self):
+        with pytest.raises(ValueError):
+            PermutationTraffic(np.array([0, 2, 1]))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            PermutationTraffic(np.array([0]))
+
+
+class TestViews:
+    def test_pairs(self):
+        traffic = PermutationTraffic(np.array([1, 2, 0]))
+        assert list(traffic.pairs()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_traffic_matrix(self):
+        traffic = PermutationTraffic(np.array([1, 2, 0]))
+        matrix = traffic.traffic_matrix()
+        assert matrix.sum() == 3
+        assert matrix[0, 1] == matrix[1, 2] == matrix[2, 0] == 1
+        assert np.all(matrix.sum(axis=0) == 1)
+        assert np.all(matrix.sum(axis=1) == 1)
+        assert np.all(np.diag(matrix) == 0)
