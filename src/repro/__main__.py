@@ -6,7 +6,12 @@ Commands
 ``table1``     the paper's Table I for the built-in representative rows
 ``phase``      a Figure-3 phase diagram panel for a given phi
 ``simulate``   realise one finite-n network and measure its flow-level rate
+``sweep``      measure a capacity curve lambda(n) and fit its exponent
 ``reproduce``  regenerate the paper's artifacts into a results directory
+
+``sweep`` and ``reproduce`` accept ``--workers N`` to fan Monte-Carlo
+trials out over ``N`` processes (``0`` = all cores); results are
+bit-identical at any worker count (see ``repro.parallel``).
 """
 
 from __future__ import annotations
@@ -98,6 +103,36 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _workers(args):
+    """CLI --workers value -> TrialRunner workers (None = inline)."""
+    from .parallel import TrialRunner
+
+    return TrialRunner.resolve_workers(args.workers)
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments.scaling import sweep_capacity
+
+    params = _family(args)
+    grid = [int(v) for v in args.grid.split(",")]
+    result = sweep_capacity(
+        params,
+        grid,
+        scheme=args.scheme,
+        trials=args.trials,
+        seed=args.seed,
+        workers=_workers(args),
+    )
+    print(params.describe())
+    for n, rate in zip(result.n_values, result.rates):
+        print(f"  n={int(n):7d}  lambda={rate:.4e}")
+    measured = "fit failed" if result.fit is None else f"{result.fit.exponent:+.3f}"
+    print(f"theory slope {result.theory_exponent:+.3f}, measured {measured}")
+    if result.stats is not None:
+        print(result.stats.summary())
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     """Regenerate Table I and the figure summaries into ``--out``.
 
@@ -106,12 +141,13 @@ def _cmd_reproduce(args) -> int:
     """
     import pathlib
 
-    from .experiments.figure1 import CLUSTERED_PARAMS, UNIFORM_PARAMS, make_panel
+    from .experiments.figure1 import CLUSTERED_PARAMS, UNIFORM_PARAMS, make_panels
     from .experiments.figure2 import trace_scheme_b
     from .experiments.figure3 import compute_figure3
     from .experiments.table1 import TABLE1_ROWS, measure_row
     from .utils.tables import render_table
 
+    workers = _workers(args)
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     if args.grid:
@@ -136,7 +172,7 @@ def _cmd_reproduce(args) -> int:
     for row in TABLE1_ROWS:
         kwargs = {"mobility": "static"} if row.sweep_scheme == "C" else {}
         result = measure_row(
-            row, grid, trials=trials, seed=7, build_kwargs=kwargs
+            row, grid, trials=trials, seed=7, build_kwargs=kwargs, workers=workers
         )
         measured = "fail" if result.fit is None else f"{result.fit.exponent:+.3f}"
         rows.append([row.label, f"{result.theory_exponent:+.3f}", measured])
@@ -144,10 +180,16 @@ def _cmd_reproduce(args) -> int:
     sections.append(render_table(["row", "theory slope", "measured slope"], rows))
 
     sections.append("\n## Figure 1 (density summaries)\n")
-    rng = np.random.default_rng(42)
     n_fig = 800 if args.quick else 2000
-    left = make_panel(CLUSTERED_PARAMS, n_fig, rng, "non-uniformly dense")
-    right = make_panel(UNIFORM_PARAMS, n_fig, rng, "uniformly dense")
+    left, right = make_panels(
+        [
+            (CLUSTERED_PARAMS, "non-uniformly dense"),
+            (UNIFORM_PARAMS, "uniformly dense"),
+        ],
+        n_fig,
+        seed=42,
+        workers=workers,
+    )
     sections.append(left.summary())
     sections.append(right.summary())
 
@@ -192,6 +234,23 @@ def main(argv=None) -> int:
     cmd.set_defaults(func=_cmd_simulate)
 
     cmd = commands.add_parser(
+        "sweep", help="measure lambda(n) over an n grid and fit the slope"
+    )
+    _add_family_arguments(cmd)
+    cmd.add_argument("--scheme", default="optimal",
+                     choices=["optimal", "A", "B", "C", "static"])
+    cmd.add_argument("--grid", default="200,400,800",
+                     help="comma-separated n values")
+    cmd.add_argument("--trials", type=int, default=3)
+    cmd.add_argument("--seed", type=int, default=0)
+    cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan trials out over N processes (0 = all cores; "
+        "results are identical at any worker count)",
+    )
+    cmd.set_defaults(func=_cmd_sweep)
+
+    cmd = commands.add_parser(
         "reproduce", help="regenerate the paper's artifacts into --out"
     )
     cmd.add_argument("--out", default="results")
@@ -202,6 +261,10 @@ def main(argv=None) -> int:
     cmd.add_argument(
         "--grid", default=None,
         help="comma-separated n values overriding the built-in grids",
+    )
+    cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan Monte-Carlo trials out over N processes (0 = all cores)",
     )
     cmd.set_defaults(func=_cmd_reproduce)
 

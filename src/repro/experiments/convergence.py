@@ -16,9 +16,9 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.regimes import NetworkParameters
+from ..parallel import TrialRunner
 from ..utils.fitting import fit_power_law
-from .scaling import measure_rate, theory_order
-from ..utils.rng import spawn_rngs
+from .scaling import _sweep_trial, sweep_trial_payloads, theory_order
 
 __all__ = ["ConvergenceStudy", "windowed_slopes"]
 
@@ -67,33 +67,29 @@ def windowed_slopes(
     seed: int = 0,
     build_kwargs: Optional[dict] = None,
     generic: bool = False,
+    workers: Optional[int] = None,
 ) -> ConvergenceStudy:
     """Measure ``lambda(n)`` on the grid and fit slopes per sliding window.
 
     ``window`` consecutive grid points feed each local fit; windows slide by
-    one point.  Needs ``len(n_values) >= window >= 2``.
+    one point.  Needs ``len(n_values) >= window >= 2``.  ``workers`` fans
+    the trials out over a process pool with worker-count-independent seeding
+    (see :class:`repro.parallel.TrialRunner`).
     """
     n_values = np.asarray(sorted(n_values), dtype=int)
     if window < 2 or window > n_values.shape[0]:
         raise ValueError(
             f"window must be in [2, {n_values.shape[0]}], got {window}"
         )
-    build_kwargs = build_kwargs or {}
-    rng_iter = spawn_rngs(seed, n_values.shape[0] * trials)
-    rates = np.empty(n_values.shape[0])
-    for index, n in enumerate(n_values):
-        samples = []
-        for _ in range(trials):
-            result = measure_rate(
-                parameters, int(n), next(rng_iter), scheme, **build_kwargs
-            )
-            if generic:
-                samples.append(
-                    result.details.get("generic_rate", result.per_node_rate)
-                )
-            else:
-                samples.append(result.per_node_rate)
-        rates[index] = float(np.median(samples))
+    payloads = sweep_trial_payloads(
+        parameters, n_values, scheme, trials, build_kwargs, generic
+    )
+    samples = TrialRunner(_sweep_trial, workers=workers).run_values(
+        payloads, seed=seed
+    )
+    rates = np.median(
+        np.asarray(samples, dtype=float).reshape(n_values.shape[0], trials), axis=1
+    )
     centers, slopes = [], []
     for start in range(n_values.shape[0] - window + 1):
         chunk_n = n_values[start:start + window]

@@ -12,6 +12,7 @@ bounded and small for the uniformly dense case, diverging for the other.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,8 +20,15 @@ from ..core.density import DensityField, density_field
 from ..core.regimes import NetworkParameters
 from ..mobility.clustered import place_home_points
 from ..mobility.shapes import UniformDiskShape
+from ..parallel import TrialRunner
 
-__all__ = ["Figure1Panel", "make_panel", "UNIFORM_PARAMS", "CLUSTERED_PARAMS"]
+__all__ = [
+    "Figure1Panel",
+    "make_panel",
+    "make_panels",
+    "UNIFORM_PARAMS",
+    "CLUSTERED_PARAMS",
+]
 
 #: Right panel: uniform home-points, ample mobility (strong regime).
 UNIFORM_PARAMS = NetworkParameters(alpha="1/8", cluster_exponent=1)
@@ -77,3 +85,27 @@ def make_panel(
         positions=positions,
         field=field,
     )
+
+
+def _panel_trial(rng: np.random.Generator, payload: tuple) -> Figure1Panel:
+    """One Figure-1 panel realisation (module-level so it pickles)."""
+    parameters, n, label, grid_side = payload
+    return make_panel(parameters, n, rng, label, grid_side=grid_side)
+
+
+def make_panels(
+    specs: Sequence[Tuple[NetworkParameters, str]],
+    n: int,
+    seed: int = 0,
+    grid_side: int = 24,
+    workers: Optional[int] = None,
+) -> List[Figure1Panel]:
+    """Realise several Figure-1 panels as independent parallel trials.
+
+    Each ``(parameters, label)`` spec becomes one :class:`TrialRunner`
+    trial with its own spawned seed, so panel contents do not depend on the
+    worker count (unlike threading panels through one shared generator).
+    """
+    payloads = [(parameters, n, label, grid_side) for parameters, label in specs]
+    runner = TrialRunner(_panel_trial, workers=workers)
+    return runner.run_values(payloads, seed=seed)

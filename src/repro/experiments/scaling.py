@@ -21,15 +21,16 @@ from ..core.capacity import (
 )
 from ..core.order import Order
 from ..core.regimes import MobilityRegime, NetworkParameters
+from ..parallel import TrialRunner, TrialStats
 from ..routing.base import FlowResult
 from ..simulation.network import HybridNetwork
 from ..utils.fitting import PowerLawFit, fit_power_law
-from ..utils.rng import spawn_rngs
 
 __all__ = [
     "SweepResult",
     "measure_rate",
     "sweep_capacity",
+    "sweep_trial_payloads",
     "theory_order",
     "SCHEME_SELECTORS",
 ]
@@ -97,6 +98,8 @@ class SweepResult:
     trials: int
     theory_exponent: float
     fit: Optional[PowerLawFit]
+    #: Throughput counters of the trial fan-out (None for legacy results).
+    stats: Optional["TrialStats"] = None
 
     @property
     def exponent_error(self) -> float:
@@ -134,6 +137,37 @@ def measure_rate(
     return SCHEME_SELECTORS[scheme](net)
 
 
+def _sweep_trial(rng: np.random.Generator, payload: tuple) -> float:
+    """One sweep trial (module-level so it pickles into pool workers)."""
+    parameters, n, scheme, build_kwargs, generic = payload
+    result = measure_rate(parameters, n, rng, scheme, **build_kwargs)
+    if generic:
+        return float(result.details.get("generic_rate", result.per_node_rate))
+    return float(result.per_node_rate)
+
+
+def sweep_trial_payloads(
+    parameters: NetworkParameters,
+    n_values: Sequence[int],
+    scheme: str,
+    trials: int,
+    build_kwargs: Optional[dict] = None,
+    generic: bool = False,
+) -> list:
+    """The flat (n-major, trial-minor) payload list one sweep fans out.
+
+    Trial ``index`` always maps to the same ``(n, trial)`` slot, which --
+    together with :class:`TrialRunner`'s index-keyed seed spawning -- makes
+    sweep results independent of worker count and scheduling order.
+    """
+    build_kwargs = build_kwargs or {}
+    return [
+        (parameters, int(n), scheme, build_kwargs, generic)
+        for n in sorted(n_values)
+        for _ in range(trials)
+    ]
+
+
 def sweep_capacity(
     parameters: NetworkParameters,
     n_values: Sequence[int],
@@ -142,6 +176,7 @@ def sweep_capacity(
     seed: int = 0,
     build_kwargs: Optional[dict] = None,
     generic: bool = False,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Measure ``lambda(n)`` over a grid of ``n`` and fit the exponent.
 
@@ -156,24 +191,27 @@ def sweep_capacity(
     paper's access results (Lemma 9) are statements about a generic node,
     and the strict minimum converges to its order only at ``n`` far beyond
     simulation reach (see EXPERIMENTS.md).
+
+    ``workers`` fans the trials out over a process pool
+    (:class:`repro.parallel.TrialRunner`).  Per-trial seeds are spawned by
+    trial index from the master ``seed``, so any worker count -- including
+    the inline default ``None`` -- produces bit-identical rates.
     """
+    if scheme not in SCHEME_SELECTORS:
+        raise ValueError(
+            f"scheme must be one of {sorted(SCHEME_SELECTORS)}, got {scheme!r}"
+        )
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
-    build_kwargs = build_kwargs or {}
     n_values = np.asarray(sorted(n_values), dtype=int)
-    rates = np.empty(n_values.shape[0], dtype=float)
-    rng_iter = spawn_rngs(seed, n_values.shape[0] * trials)
-    for index, n in enumerate(n_values):
-        samples = []
-        for _ in range(trials):
-            result = measure_rate(
-                parameters, int(n), next(rng_iter), scheme, **build_kwargs
-            )
-            if generic:
-                samples.append(result.details.get("generic_rate", result.per_node_rate))
-            else:
-                samples.append(result.per_node_rate)
-        rates[index] = float(np.median(samples))
+    payloads = sweep_trial_payloads(
+        parameters, n_values, scheme, trials, build_kwargs, generic
+    )
+    runner = TrialRunner(_sweep_trial, workers=workers)
+    samples = runner.run_values(payloads, seed=seed)
+    rates = np.median(
+        np.asarray(samples, dtype=float).reshape(n_values.shape[0], trials), axis=1
+    )
     positive = rates > 0
     fit = None
     if int(positive.sum()) >= 2:
@@ -187,4 +225,5 @@ def sweep_capacity(
         trials=trials,
         theory_exponent=theory,
         fit=fit,
+        stats=runner.last_stats,
     )

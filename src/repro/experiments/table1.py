@@ -136,8 +136,14 @@ def measure_row(
     trials: int = 3,
     seed: int = 0,
     build_kwargs: Optional[Dict] = None,
+    workers: Optional[int] = None,
 ) -> SweepResult:
-    """Run the capacity sweep for one Table-I row."""
+    """Run the capacity sweep for one Table-I row.
+
+    ``workers`` parallelises the sweep's trials over a process pool with
+    results bit-identical to the serial run (see
+    :class:`repro.parallel.TrialRunner`).
+    """
     return sweep_capacity(
         row.parameters,
         n_values,
@@ -146,4 +152,5 @@ def measure_row(
         seed=seed,
         build_kwargs=build_kwargs,
         generic=row.use_generic_rate,
+        workers=workers,
     )

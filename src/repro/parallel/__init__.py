@@ -1,0 +1,19 @@
+"""Deterministic parallel execution of independent Monte-Carlo trials."""
+
+from .runner import (
+    TrialError,
+    TrialFailed,
+    TrialResult,
+    TrialRunner,
+    TrialStats,
+    run_trials,
+)
+
+__all__ = [
+    "TrialError",
+    "TrialFailed",
+    "TrialResult",
+    "TrialRunner",
+    "TrialStats",
+    "run_trials",
+]

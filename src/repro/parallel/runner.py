@@ -1,0 +1,445 @@
+"""Parallel Monte-Carlo trial execution.
+
+Every empirical artifact of the reproduction (Table I slopes, the Figure 1-3
+panels, the convergence studies) is an average over independent trials.  The
+:class:`TrialRunner` fans those trials out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` while keeping the results
+**bit-identical regardless of worker count or scheduling order**:
+
+- Per-trial randomness is derived up front with
+  ``numpy.random.SeedSequence(seed).spawn(len(payloads))`` -- trial ``i``
+  always receives the generator built from child ``i``, no matter which
+  worker runs it or when.  This matches the serial derivation used by
+  :func:`repro.utils.rng.spawn_rngs`, so a parallel sweep reproduces the
+  serial sweep exactly.
+- Results are returned ordered by trial index, not completion order.
+
+Fault handling (each mechanism is exercised by ``tests/test_trial_runner_faults.py``):
+
+- A trial that raises is retried once (configurable via ``retries``) and then
+  surfaced as a structured :class:`TrialError` with ``kind="exception"``.
+- A per-trial ``timeout`` is enforced *inside* the worker with ``SIGALRM``
+  (POSIX), so a stuck trial is interrupted without poisoning the pool;
+  a second, harder deadline in the parent terminates the worker processes
+  if the alarm itself is ignored.  Either way the trial is retried once and
+  then reported with ``kind="timeout"``.
+- A worker killed mid-trial breaks the pool
+  (:class:`~concurrent.futures.process.BrokenProcessPool`); the runner
+  rebuilds the pool, re-queues every in-flight trial (at most ``retries``
+  extra attempts each) and reports unrecoverable trials with
+  ``kind="worker-crash"`` instead of hanging.
+
+The trial callable must be picklable (a module-level function) with
+signature ``trial_fn(rng, payload) -> value`` and the value must be
+picklable too.  ``workers=None`` runs the same code path inline with no
+subprocesses -- handy under debuggers and the baseline for the determinism
+tests.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback as traceback_module
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TrialError",
+    "TrialFailed",
+    "TrialResult",
+    "TrialStats",
+    "TrialRunner",
+    "run_trials",
+]
+
+
+@dataclass(frozen=True)
+class TrialError:
+    """Structured description of one trial's unrecoverable failure."""
+
+    trial_index: int
+    #: ``"exception"`` (trial raised), ``"timeout"`` (per-trial deadline
+    #: exceeded) or ``"worker-crash"`` (the worker process died).
+    kind: str
+    message: str
+    #: Total attempts made (first run + retries).
+    attempts: int
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"trial {self.trial_index} failed ({self.kind}) after "
+            f"{self.attempts} attempt(s): {self.message}"
+        )
+
+
+class TrialFailed(RuntimeError):
+    """Raised by :meth:`TrialRunner.run_values` when a trial fails for good."""
+
+    def __init__(self, error: TrialError):
+        super().__init__(str(error))
+        self.error = error
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial: either a value or a :class:`TrialError`."""
+
+    index: int
+    value: Any
+    attempts: int
+    #: In-worker wall-clock seconds of the successful attempt (0 on failure).
+    duration: float
+    error: Optional[TrialError] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trial produced a value."""
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Aggregate throughput counters of one :meth:`TrialRunner.run` call."""
+
+    trials: int
+    failures: int
+    retries: int
+    elapsed_seconds: float
+    workers: Optional[int]
+
+    @property
+    def trials_per_second(self) -> float:
+        """Completed trials per wall-clock second of the whole run."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.trials / self.elapsed_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        mode = "inline" if self.workers is None else f"{self.workers} workers"
+        return (
+            f"trials={self.trials} failures={self.failures} "
+            f"retries={self.retries} elapsed={self.elapsed_seconds:.2f}s "
+            f"({self.trials_per_second:.1f} trials/s, {mode})"
+        )
+
+
+class _TrialTimeout(Exception):
+    """Internal: raised in the worker when the SIGALRM deadline fires."""
+
+
+def _raise_trial_timeout(signum, frame):
+    raise _TrialTimeout()
+
+
+def _execute_trial(trial_fn, index, seed_seq, payload, timeout):
+    """Run one trial (worker side) and return a structured outcome tuple.
+
+    Exceptions are converted to tuples rather than raised so arbitrary
+    (possibly unpicklable) exception types never cross the process boundary.
+    """
+    start = time.perf_counter()
+    previous_handler = None
+    if timeout is not None:
+        previous_handler = signal.signal(signal.SIGALRM, _raise_trial_timeout)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        rng = np.random.default_rng(seed_seq)
+        value = trial_fn(rng, payload)
+        return ("ok", index, value, time.perf_counter() - start, "")
+    except _TrialTimeout:
+        return ("timeout", index, None, f"trial exceeded {timeout} s", "")
+    except Exception as exc:  # noqa: BLE001 - converted to structured error
+        return (
+            "exception",
+            index,
+            None,
+            f"{type(exc).__name__}: {exc}",
+            traceback_module.format_exc(),
+        )
+    finally:
+        if timeout is not None:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+
+class TrialRunner:
+    """Deterministic fan-out of independent trials over a process pool.
+
+    Parameters
+    ----------
+    trial_fn:
+        Module-level callable ``trial_fn(rng, payload) -> value``.  Must be
+        picklable when ``workers`` is not ``None``.
+    workers:
+        ``None`` runs trials inline (no subprocesses); an integer ``>= 1``
+        uses a :class:`ProcessPoolExecutor` with that many workers.  The
+        results are bit-identical either way.
+    timeout:
+        Optional per-trial wall-clock deadline in seconds.
+    retries:
+        Extra attempts granted to a failing trial before its error is
+        surfaced (default 1, i.e. two attempts total).
+    chunk_size:
+        In pool mode at most ``workers * chunk_size`` trials are in flight
+        at once, bounding memory for very long sweeps.
+    """
+
+    #: Extra parent-side slack (seconds) on top of ``timeout`` before the
+    #: pool is forcibly recycled because a worker ignored its alarm.
+    HARD_TIMEOUT_GRACE = 5.0
+
+    def __init__(
+        self,
+        trial_fn: Callable[[np.random.Generator, Any], Any],
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        chunk_size: int = 4,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1 or None, got {workers}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._trial_fn = trial_fn
+        self._workers = workers
+        self._timeout = timeout
+        self._retries = retries
+        self._chunk_size = chunk_size
+        self._last_stats: Optional[TrialStats] = None
+
+    @property
+    def workers(self) -> Optional[int]:
+        """Configured worker count (``None`` = inline)."""
+        return self._workers
+
+    @property
+    def last_stats(self) -> Optional[TrialStats]:
+        """Throughput counters of the most recent :meth:`run` call."""
+        return self._last_stats
+
+    @staticmethod
+    def resolve_workers(workers: Optional[int]) -> Optional[int]:
+        """Interpret a CLI-style worker count: 0 means "all cores"."""
+        if workers is None:
+            return None
+        if workers == 0:
+            return os.cpu_count() or 1
+        return workers
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        payloads: Sequence[Any],
+        seed: int = 0,
+        submission_order: Optional[Sequence[int]] = None,
+    ) -> List[TrialResult]:
+        """Run one trial per payload; results are ordered by trial index.
+
+        ``submission_order`` permutes only the order in which trials are
+        handed to the pool (used by the determinism tests to prove the
+        results do not depend on it).
+        """
+        payloads = list(payloads)
+        count = len(payloads)
+        if count == 0:
+            self._last_stats = TrialStats(0, 0, 0, 0.0, self._workers)
+            return []
+        order = list(range(count)) if submission_order is None else list(submission_order)
+        if sorted(order) != list(range(count)):
+            raise ValueError("submission_order must be a permutation of the trial indices")
+        seeds = np.random.SeedSequence(seed).spawn(count)
+        start = time.perf_counter()
+        if self._workers is None:
+            results = self._run_inline(payloads, seeds, order)
+        else:
+            results = self._run_pool(payloads, seeds, order)
+        elapsed = time.perf_counter() - start
+        failures = sum(1 for r in results if not r.ok)
+        retries = sum(r.attempts - 1 for r in results)
+        self._last_stats = TrialStats(
+            trials=count,
+            failures=failures,
+            retries=retries,
+            elapsed_seconds=elapsed,
+            workers=self._workers,
+        )
+        return results
+
+    def run_values(
+        self, payloads: Sequence[Any], seed: int = 0
+    ) -> List[Any]:
+        """Like :meth:`run` but unwrap values, raising on the first failure."""
+        results = self.run(payloads, seed=seed)
+        for result in results:
+            if not result.ok:
+                raise TrialFailed(result.error)
+        return [result.value for result in results]
+
+    # ------------------------------------------------------------------
+    def _finish(self, outcome, attempts) -> TrialResult:
+        """Convert a worker outcome tuple into a TrialResult."""
+        status, index = outcome[0], outcome[1]
+        if status == "ok":
+            return TrialResult(
+                index=index,
+                value=outcome[2],
+                attempts=attempts,
+                duration=outcome[3],
+            )
+        kind = status  # "exception" or "timeout"
+        error = TrialError(
+            trial_index=index,
+            kind=kind,
+            message=outcome[3],
+            attempts=attempts,
+            traceback=outcome[4],
+        )
+        return TrialResult(index=index, value=None, attempts=attempts, duration=0.0, error=error)
+
+    def _run_inline(self, payloads, seeds, order) -> List[TrialResult]:
+        results: List[Optional[TrialResult]] = [None] * len(payloads)
+        for index in order:
+            attempts = 0
+            while True:
+                attempts += 1
+                outcome = _execute_trial(
+                    self._trial_fn, index, seeds[index], payloads[index], self._timeout
+                )
+                if outcome[0] == "ok" or attempts > self._retries:
+                    results[index] = self._finish(outcome, attempts)
+                    break
+        return results  # type: ignore[return-value]
+
+    def _run_pool(self, payloads, seeds, order) -> List[TrialResult]:
+        results: List[Optional[TrialResult]] = [None] * len(payloads)
+        pending = deque(order)
+        attempts = [0] * len(payloads)
+        window = self._workers * self._chunk_size
+        executor = ProcessPoolExecutor(max_workers=self._workers)
+        # trial indices force-killed by the parent-side hard deadline: their
+        # pool breakage should be reported as a timeout, not a crash.
+        hard_timed_out: set = set()
+        try:
+            inflight = {}  # future -> (index, deadline or None)
+            while pending or inflight:
+                while pending and len(inflight) < window:
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    future = executor.submit(
+                        _execute_trial,
+                        self._trial_fn,
+                        index,
+                        seeds[index],
+                        payloads[index],
+                        self._timeout,
+                    )
+                    deadline = (
+                        time.monotonic() + self._timeout + self.HARD_TIMEOUT_GRACE
+                        if self._timeout is not None
+                        else None
+                    )
+                    inflight[future] = (index, deadline)
+                done, _ = wait(
+                    list(inflight), timeout=0.05, return_when=FIRST_COMPLETED
+                )
+                broken = False
+                for future in done:
+                    index, _deadline = inflight.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        self._record_crash(
+                            results, pending, attempts, index, hard_timed_out
+                        )
+                        continue
+                    if outcome[0] == "ok" or attempts[index] > self._retries:
+                        results[index] = self._finish(outcome, attempts[index])
+                    else:
+                        pending.append(index)
+                if not done and self._deadline_exceeded(inflight):
+                    # A worker ignored its in-worker alarm; terminate the
+                    # pool's processes so the broken-pool path recycles it.
+                    for future, (index, deadline) in inflight.items():
+                        if deadline is not None and time.monotonic() > deadline:
+                            hard_timed_out.add(index)
+                    self._terminate_workers(executor)
+                    broken = True
+                if broken:
+                    # The pool is unusable: every remaining in-flight trial
+                    # died with it.  Re-queue or fail each, then rebuild.
+                    for future, (index, _deadline) in inflight.items():
+                        self._record_crash(
+                            results, pending, attempts, index, hard_timed_out
+                        )
+                    inflight.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(max_workers=self._workers)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return results  # type: ignore[return-value]
+
+    def _record_crash(self, results, pending, attempts, index, hard_timed_out):
+        """Re-queue a trial whose worker died, or surface the error."""
+        if attempts[index] <= self._retries:
+            pending.append(index)
+            return
+        if index in hard_timed_out:
+            kind, message = "timeout", (
+                f"trial ignored its {self._timeout} s alarm and was terminated"
+            )
+        else:
+            kind, message = "worker-crash", "worker process died mid-trial"
+        error = TrialError(
+            trial_index=index,
+            kind=kind,
+            message=message,
+            attempts=attempts[index],
+        )
+        results[index] = TrialResult(
+            index=index, value=None, attempts=attempts[index], duration=0.0, error=error
+        )
+
+    @staticmethod
+    def _deadline_exceeded(inflight) -> bool:
+        now = time.monotonic()
+        return any(
+            deadline is not None and now > deadline
+            for _index, deadline in inflight.values()
+        )
+
+    @staticmethod
+    def _terminate_workers(executor) -> None:
+        """Forcibly kill the pool's worker processes (hard-timeout path)."""
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - best effort
+                pass
+
+
+def run_trials(
+    trial_fn: Callable[[np.random.Generator, Any], Any],
+    payloads: Sequence[Any],
+    seed: int = 0,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> List[Any]:
+    """One-shot convenience wrapper: run and unwrap, raising on failure."""
+    runner = TrialRunner(trial_fn, workers=workers, timeout=timeout, retries=retries)
+    return runner.run_values(payloads, seed=seed)

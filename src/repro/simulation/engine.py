@@ -15,6 +15,7 @@ classical two-hop relay live in :mod:`repro.simulation.routers`.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -128,6 +129,7 @@ class SlottedSimulator:
         self._next_pid = 0
         self._slot = 0
         self._delivered: List[Packet] = []
+        self._elapsed = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -198,8 +200,10 @@ class SlottedSimulator:
         """Run ``slots`` further slots and return cumulative metrics."""
         if slots < 1:
             raise ValueError(f"need at least one slot, got {slots}")
+        start = time.perf_counter()
         for _ in range(slots):
             self.step()
+        self._elapsed += time.perf_counter() - start
         in_flight = sum(len(queue) for queue in self._queues.values())
         delays = [
             packet.state["delivered_slot"] - packet.created_slot
@@ -215,4 +219,5 @@ class SlottedSimulator:
             delays=np.array(delays, dtype=float),
             hop_counts=np.array(hop_counts, dtype=float),
             offered_load=self._arrival_prob,
+            elapsed_seconds=self._elapsed,
         )

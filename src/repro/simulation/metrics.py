@@ -21,6 +21,9 @@ class SimulationMetrics:
     delays: np.ndarray
     hop_counts: np.ndarray
     offered_load: float
+    #: Wall-clock seconds spent inside :meth:`SlottedSimulator.run` so far
+    #: (cumulative across successive ``run`` calls).
+    elapsed_seconds: float = 0.0
 
     @property
     def per_node_throughput(self) -> float:
@@ -28,6 +31,14 @@ class SimulationMetrics:
         if self.slots == 0:
             return 0.0
         return self.delivered / (self.slots * self.ms_count)
+
+    @property
+    def slots_per_second(self) -> float:
+        """Simulated slots per wall-clock second -- the scheduler hot-path
+        throughput counter used by the speedup benchmarks."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.slots / self.elapsed_seconds
 
     @property
     def delivery_ratio(self) -> float:
@@ -57,5 +68,6 @@ class SimulationMetrics:
         return (
             f"slots={self.slots} created={self.created} delivered={self.delivered} "
             f"in_flight={self.in_flight} throughput={self.per_node_throughput:.3e} "
-            f"delay={self.mean_delay:.1f} hops={self.mean_hops:.1f}"
+            f"delay={self.mean_delay:.1f} hops={self.mean_hops:.1f} "
+            f"slots/s={self.slots_per_second:.0f}"
         )

@@ -114,6 +114,7 @@ class ProtocolModel:
         positions: np.ndarray,
         transmission_range: float,
         distances: np.ndarray = None,
+        reference: bool = False,
     ) -> List[Link]:
         """All unordered pairs enabled by policy ``S*`` (Definition 10).
 
@@ -122,23 +123,61 @@ class ProtocolModel:
         endpoints.  Equivalently: the guard disk of each endpoint contains
         exactly the two endpoints.  The returned pairs are automatically
         node-disjoint and interference-free.
+
+        ``reference=True`` selects the direct Python-loop transcription of
+        Definition 10 (``O(n^2 * pairs)``); the default is a vectorized
+        formulation over the distance matrix.  Both produce identical pairs
+        in identical order (``tests/test_scheduler_equivalence.py``).
         """
         positions = np.atleast_2d(np.asarray(positions, dtype=float))
         if distances is None:
             distances = pairwise_distances(positions)
+        if reference:
+            return self._strict_pairs_reference(distances, transmission_range)
+        return self._strict_pairs_vectorized(distances, transmission_range)
+
+    def _strict_pairs_reference(
+        self, distances: np.ndarray, transmission_range: float
+    ) -> List[Link]:
+        """Loop transcription of Definition 10, kept as the semantic spec."""
         guard = self.guard_factor * transmission_range
-        within_guard = distances < guard
-        # guard_count[i] counts nodes strictly inside the guard disk of i,
-        # including i itself (distance zero).
-        guard_count = within_guard.sum(axis=1)
-        candidates = np.argwhere(
-            np.triu(distances < transmission_range, k=1)
-        )
+        count = distances.shape[0]
         pairs: List[Link] = []
-        for i, j in candidates:
-            if guard_count[i] == 2 and guard_count[j] == 2:
-                pairs.append((int(i), int(j)))
+        for i in range(count):
+            for j in range(i + 1, count):
+                if distances[i, j] >= transmission_range:
+                    continue
+                enabled = True
+                for other in range(count):
+                    if other == i or other == j:
+                        continue
+                    if distances[other, i] < guard or distances[other, j] < guard:
+                        enabled = False
+                        break
+                if enabled:
+                    pairs.append((i, j))
         return pairs
+
+    def _strict_pairs_vectorized(
+        self, distances: np.ndarray, transmission_range: float
+    ) -> List[Link]:
+        """Vectorized Definition 10 on the pairwise-distance matrix.
+
+        ``guard_count[i]`` counts nodes strictly inside the guard disk of
+        ``i`` including ``i`` itself (distance zero); a pair is enabled iff
+        both endpoints count exactly two (themselves and each other -- the
+        in-range condition guarantees each endpoint lies in the other's
+        guard disk since ``guard > R_T``).
+        """
+        guard = self.guard_factor * transmission_range
+        guard_count = (distances < guard).sum(axis=1)
+        lonely = guard_count == 2
+        enabled = (
+            np.triu(distances < transmission_range, k=1)
+            & lonely[:, None]
+            & lonely[None, :]
+        )
+        return [(int(i), int(j)) for i, j in np.argwhere(enabled)]
 
     def cross_cluster_interference_count(
         self,

@@ -87,7 +87,13 @@ class PolicySStar(Scheduler):
         Guard-zone constant.
     """
 
-    def __init__(self, node_count: int, c_t: float = 1.0, delta: float = 1.0):
+    def __init__(
+        self,
+        node_count: int,
+        c_t: float = 1.0,
+        delta: float = 1.0,
+        reference: bool = False,
+    ):
         if node_count < 2:
             raise ValueError(f"need at least two nodes, got {node_count}")
         if c_t <= 0:
@@ -96,6 +102,7 @@ class PolicySStar(Scheduler):
         self._c_t = c_t
         self._model = ProtocolModel(delta)
         self._range = c_t / math.sqrt(node_count)
+        self._reference = reference
 
     @property
     def protocol_model(self) -> ProtocolModel:
@@ -111,20 +118,28 @@ class PolicySStar(Scheduler):
     def schedule(
         self, positions: np.ndarray, distances: Optional[np.ndarray] = None
     ) -> Schedule:
-        pairs = self._model.strict_pairs(positions, self._range, distances=distances)
+        pairs = self._model.strict_pairs(
+            positions, self._range, distances=distances, reference=self._reference
+        )
         return Schedule(pairs=tuple(pairs), transmission_range=self._range)
 
 
 class VariableRangeScheduler(Scheduler):
     """``S-bar``: the ``S*`` rule with an arbitrary fixed range (Theorem 2)."""
 
-    def __init__(self, transmission_range: float, delta: float = 1.0):
+    def __init__(
+        self,
+        transmission_range: float,
+        delta: float = 1.0,
+        reference: bool = False,
+    ):
         if transmission_range <= 0:
             raise ValueError(
                 f"transmission range must be positive, got {transmission_range}"
             )
         self._range = transmission_range
         self._model = ProtocolModel(delta)
+        self._reference = reference
 
     def transmission_range(self, node_count: Optional[int] = None) -> float:
         return self._range
@@ -132,7 +147,9 @@ class VariableRangeScheduler(Scheduler):
     def schedule(
         self, positions: np.ndarray, distances: Optional[np.ndarray] = None
     ) -> Schedule:
-        pairs = self._model.strict_pairs(positions, self._range, distances=distances)
+        pairs = self._model.strict_pairs(
+            positions, self._range, distances=distances, reference=self._reference
+        )
         return Schedule(pairs=tuple(pairs), transmission_range=self._range)
 
 
@@ -144,15 +161,26 @@ class GreedyMatchingScheduler(Scheduler):
     shortest first.  A link is added when its endpoints are unused and its
     receiver is outside the guard zone of every already-chosen transmitter
     (and vice versa), i.e. exactly Definition 4 against the chosen set.
+
+    ``reference=True`` keeps the original per-link feasibility scan over the
+    chosen set; the default maintains a vectorized ``blocked`` mask updated
+    once per accepted link.  Both select identical links in identical order
+    (``tests/test_scheduler_equivalence.py``).
     """
 
-    def __init__(self, transmission_range: float, delta: float = 1.0):
+    def __init__(
+        self,
+        transmission_range: float,
+        delta: float = 1.0,
+        reference: bool = False,
+    ):
         if transmission_range <= 0:
             raise ValueError(
                 f"transmission range must be positive, got {transmission_range}"
             )
         self._range = transmission_range
         self._model = ProtocolModel(delta)
+        self._reference = reference
 
     def transmission_range(self, node_count: Optional[int] = None) -> float:
         return self._range
@@ -177,8 +205,19 @@ class GreedyMatchingScheduler(Scheduler):
             ]
         candidates.sort(key=lambda pair: distances[pair[0], pair[1]])
         guard = self._model.guard_factor * self._range
+        if self._reference:
+            chosen = self._select_reference(candidates, distances, guard)
+        else:
+            chosen = self._select_vectorized(candidates, distances, guard)
+        return Schedule(pairs=tuple(chosen), transmission_range=self._range)
+
+    @staticmethod
+    def _select_reference(
+        candidates: Sequence[Link], distances: np.ndarray, guard: float
+    ) -> List[Link]:
+        """Original greedy loop: scan every chosen link per candidate."""
         chosen: List[Link] = []
-        used = np.zeros(positions.shape[0], dtype=bool)
+        used = np.zeros(distances.shape[0], dtype=bool)
         transmitters: List[int] = []
         for a, b in candidates:
             if used[a] or used[b]:
@@ -206,7 +245,30 @@ class GreedyMatchingScheduler(Scheduler):
             chosen.append((a, b))
             transmitters.extend((a, b))
             used[a] = used[b] = True
-        return Schedule(pairs=tuple(chosen), transmission_range=self._range)
+        return chosen
+
+    @staticmethod
+    def _select_vectorized(
+        candidates: Sequence[Link], distances: np.ndarray, guard: float
+    ) -> List[Link]:
+        """Greedy loop with an O(1) feasibility test per candidate.
+
+        ``blocked[x]`` is true once some chosen transmitter sits within the
+        guard distance of ``x``; accepting a link updates the mask with two
+        vectorized row comparisons, replacing the per-candidate scan of the
+        whole chosen set.
+        """
+        chosen: List[Link] = []
+        used = np.zeros(distances.shape[0], dtype=bool)
+        blocked = np.zeros(distances.shape[0], dtype=bool)
+        for a, b in candidates:
+            if used[a] or used[b] or blocked[a] or blocked[b]:
+                continue
+            chosen.append((a, b))
+            used[a] = used[b] = True
+            blocked |= distances[a] < guard
+            blocked |= distances[b] < guard
+        return chosen
 
 
 class TDMACellScheduler(Scheduler):

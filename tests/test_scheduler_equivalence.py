@@ -1,0 +1,176 @@
+"""Vectorized vs reference scheduler equivalence.
+
+The vectorized ``S*`` / ``S-bar`` guard-zone evaluation and the greedy
+matching ``blocked``-mask optimisation must reproduce the loop reference
+implementations *exactly* -- same ``Schedule.pairs``, same order -- on
+randomized position sets and on the degenerate geometries the sweeps can
+produce (single node, co-located nodes, range exceeding the torus
+diameter).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.wireless.protocol_model import ProtocolModel
+from repro.wireless.scheduler import (
+    GreedyMatchingScheduler,
+    PolicySStar,
+    VariableRangeScheduler,
+)
+
+CASES = 200
+
+def _random_case(seed):
+    """One randomized geometry: positions plus a range/delta draw."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 90))
+    # Mix uniform draws with clustered ones so guard zones actually bite.
+    if rng.random() < 0.3:
+        centers = rng.random((max(1, n // 8), 2))
+        picks = rng.integers(0, centers.shape[0], size=n)
+        positions = np.mod(
+            centers[picks] + rng.normal(scale=0.02, size=(n, 2)), 1.0
+        )
+    else:
+        positions = rng.random((n, 2))
+    transmission_range = float(rng.uniform(0.01, 0.6))
+    delta = float(rng.uniform(0.2, 2.0))
+    return positions, transmission_range, delta
+
+
+class TestPolicySStarEquivalence:
+    @pytest.mark.parametrize("seed_block", range(10))
+    def test_randomized_cases(self, seed_block):
+        for seed in range(seed_block * (CASES // 10), (seed_block + 1) * (CASES // 10)):
+            positions, _range, delta = _random_case(seed)
+            n = max(2, positions.shape[0])
+            fast = PolicySStar(n, c_t=1.0, delta=delta)
+            slow = PolicySStar(n, c_t=1.0, delta=delta, reference=True)
+            assert fast.schedule(positions).pairs == slow.schedule(positions).pairs, (
+                f"seed {seed}"
+            )
+
+    def test_single_node(self):
+        positions = np.array([[0.3, 0.7]])
+        fast = PolicySStar(2)
+        slow = PolicySStar(2, reference=True)
+        assert fast.schedule(positions).pairs == slow.schedule(positions).pairs == ()
+
+    def test_all_colocated(self):
+        positions = np.zeros((6, 2))
+        fast = PolicySStar(6, c_t=1.0)
+        slow = PolicySStar(6, c_t=1.0, reference=True)
+        assert fast.schedule(positions).pairs == slow.schedule(positions).pairs
+
+    def test_two_colocated_nodes_are_enabled(self):
+        """n=2 co-located: each guard disk holds exactly the pair itself."""
+        positions = np.zeros((2, 2))
+        fast = PolicySStar(2, c_t=1.0)
+        slow = PolicySStar(2, c_t=1.0, reference=True)
+        assert fast.schedule(positions).pairs == slow.schedule(positions).pairs == ((0, 1),)
+
+
+class TestVariableRangeEquivalence:
+    @pytest.mark.parametrize("seed_block", range(10))
+    def test_randomized_cases(self, seed_block):
+        for seed in range(seed_block * (CASES // 10), (seed_block + 1) * (CASES // 10)):
+            positions, transmission_range, delta = _random_case(seed + 10_000)
+            fast = VariableRangeScheduler(transmission_range, delta=delta)
+            slow = VariableRangeScheduler(
+                transmission_range, delta=delta, reference=True
+            )
+            assert fast.schedule(positions).pairs == slow.schedule(positions).pairs, (
+                f"seed {seed}"
+            )
+
+    def test_range_larger_than_torus(self):
+        """Range beyond the torus diameter: every node is in every guard
+        zone, so nothing is ever enabled (except the trivial n=2 case)."""
+        rng = np.random.default_rng(42)
+        positions = rng.random((12, 2))
+        fast = VariableRangeScheduler(2.0)
+        slow = VariableRangeScheduler(2.0, reference=True)
+        assert fast.schedule(positions).pairs == slow.schedule(positions).pairs == ()
+
+    def test_single_node(self):
+        positions = np.array([[0.1, 0.2]])
+        fast = VariableRangeScheduler(0.3)
+        slow = VariableRangeScheduler(0.3, reference=True)
+        assert fast.schedule(positions).pairs == slow.schedule(positions).pairs == ()
+
+
+class TestGreedyMatchingEquivalence:
+    @pytest.mark.parametrize("seed_block", range(10))
+    def test_randomized_cases(self, seed_block):
+        for seed in range(seed_block * (CASES // 10), (seed_block + 1) * (CASES // 10)):
+            positions, transmission_range, delta = _random_case(seed + 20_000)
+            fast = GreedyMatchingScheduler(transmission_range, delta=delta)
+            slow = GreedyMatchingScheduler(
+                transmission_range, delta=delta, reference=True
+            )
+            assert fast.schedule(positions).pairs == slow.schedule(positions).pairs, (
+                f"seed {seed}"
+            )
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_candidate_restriction_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.random((40, 2))
+        candidates = [
+            (int(a), int(b))
+            for a, b in rng.integers(0, 40, size=(25, 2))
+            if a != b
+        ]
+        fast = GreedyMatchingScheduler(0.4, delta=0.7)
+        slow = GreedyMatchingScheduler(0.4, delta=0.7, reference=True)
+        assert (
+            fast.schedule(positions, candidates=candidates).pairs
+            == slow.schedule(positions, candidates=candidates).pairs
+        )
+
+    def test_all_colocated(self):
+        positions = np.full((8, 2), 0.25)
+        fast = GreedyMatchingScheduler(0.1)
+        slow = GreedyMatchingScheduler(0.1, reference=True)
+        assert fast.schedule(positions).pairs == slow.schedule(positions).pairs
+
+    def test_range_larger_than_torus(self):
+        rng = np.random.default_rng(7)
+        positions = rng.random((15, 2))
+        fast = GreedyMatchingScheduler(2.0)
+        slow = GreedyMatchingScheduler(2.0, reference=True)
+        assert fast.schedule(positions).pairs == slow.schedule(positions).pairs
+
+    def test_single_node(self):
+        positions = np.array([[0.9, 0.9]])
+        fast = GreedyMatchingScheduler(0.5)
+        slow = GreedyMatchingScheduler(0.5, reference=True)
+        assert fast.schedule(positions).pairs == slow.schedule(positions).pairs == ()
+
+
+class TestVectorizedStillFeasible:
+    """The vectorized outputs must keep the old feasibility guarantees."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_sstar_protocol_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.random((150, 2))
+        policy = PolicySStar(node_count=150, c_t=1.5, delta=1.0)
+        schedule = policy.schedule(positions)
+        model = ProtocolModel(delta=1.0)
+        assert model.is_feasible_schedule(
+            positions, schedule.pairs, schedule.transmission_range
+        )
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_greedy_protocol_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.random((80, 2))
+        scheduler = GreedyMatchingScheduler(1.0 / math.sqrt(80), delta=1.0)
+        schedule = scheduler.schedule(positions)
+        model = ProtocolModel(delta=1.0)
+        assert model.is_feasible_schedule(
+            positions, schedule.pairs, schedule.transmission_range
+        )

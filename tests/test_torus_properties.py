@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for ``geometry/torus.pairwise_distances``.
+
+The vectorized schedulers lean entirely on the pairwise-distance matrix, so
+its metric invariants -- symmetry, zero diagonal, the triangle inequality,
+invariance under torus wrap -- are load-bearing for every schedule the
+reproduction produces.
+
+Coordinates are drawn on a dyadic grid (multiples of ``2**-16``) so that
+the wrap arithmetic is exact in float64 and the invariance properties can
+be asserted bit-for-bit rather than within a tolerance.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.torus import pairwise_distances, torus_distance, wrap
+
+GRID = 2**16
+
+coordinate = st.integers(min_value=0, max_value=GRID - 1).map(lambda v: v / GRID)
+point = st.tuples(coordinate, coordinate)
+points = st.lists(point, min_size=1, max_size=24).map(
+    lambda rows: np.array(rows, dtype=float)
+)
+integer_shift = st.integers(min_value=-3, max_value=3)
+
+
+class TestMetricInvariants:
+    @given(pts=points)
+    def test_symmetry(self, pts):
+        distances = pairwise_distances(pts)
+        np.testing.assert_array_equal(distances, distances.T)
+
+    @given(pts=points)
+    def test_zero_diagonal(self, pts):
+        distances = pairwise_distances(pts)
+        np.testing.assert_array_equal(np.diag(distances), 0.0)
+
+    @given(pts=points)
+    def test_nonnegative_and_bounded_by_torus_diameter(self, pts):
+        """No two points on the unit torus are farther than sqrt(2)/2."""
+        distances = pairwise_distances(pts)
+        assert np.all(distances >= 0.0)
+        assert np.all(distances <= np.sqrt(2.0) / 2.0 + 1e-12)
+
+    @settings(max_examples=200)
+    @given(pts=points)
+    def test_triangle_inequality(self, pts):
+        distances = pairwise_distances(pts)
+        # d(i, k) <= d(i, j) + d(j, k) for every intermediate j, up to
+        # float64 rounding of the sqrt/sum pipeline.
+        via = distances[:, :, None] + distances[None, :, :]  # [i, j, k]
+        assert np.all(distances[:, None, :] <= via + 1e-9)
+
+    @given(pts=points)
+    def test_matches_scalar_torus_distance(self, pts):
+        distances = pairwise_distances(pts)
+        for i in range(pts.shape[0]):
+            for j in range(pts.shape[0]):
+                assert distances[i, j] == torus_distance(pts[i], pts[j])
+
+
+class TestWrapInvariance:
+    @given(pts=points, shift_x=integer_shift, shift_y=integer_shift)
+    def test_global_integer_shift_is_identity(self, pts, shift_x, shift_y):
+        """Translating every point by an integer vector (then wrapping)
+        leaves all pairwise distances exactly unchanged."""
+        shifted = wrap(pts + np.array([shift_x, shift_y], dtype=float))
+        np.testing.assert_array_equal(
+            pairwise_distances(pts), pairwise_distances(shifted)
+        )
+
+    @given(pts=points, data=st.data())
+    def test_per_point_integer_shift_is_identity(self, pts, data):
+        """Even per-point integer offsets cancel: the metric only sees
+        positions modulo 1."""
+        shifts = data.draw(
+            st.lists(
+                st.tuples(integer_shift, integer_shift),
+                min_size=pts.shape[0],
+                max_size=pts.shape[0],
+            )
+        )
+        shifted = pts + np.asarray(shifts, dtype=float)
+        np.testing.assert_array_equal(
+            pairwise_distances(pts), pairwise_distances(shifted)
+        )
+
+    @given(pts=points, shift_x=coordinate, shift_y=coordinate)
+    def test_translation_invariance(self, pts, shift_x, shift_y):
+        """The torus has no boundary: rigid translations preserve the
+        metric (exactly, on the dyadic grid)."""
+        translated = wrap(pts + np.array([shift_x, shift_y], dtype=float))
+        np.testing.assert_array_equal(
+            pairwise_distances(pts), pairwise_distances(translated)
+        )

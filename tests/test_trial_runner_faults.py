@@ -1,0 +1,139 @@
+"""Fault injection for :class:`repro.parallel.TrialRunner`.
+
+Each failure mode documented by the runner -- a trial that raises, a worker
+killed mid-trial, a per-trial timeout -- must produce the structured
+:class:`TrialError` (after exactly one retry) instead of hanging the pool,
+and a transient fault must be healed by the retry.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.parallel import TrialError, TrialFailed, TrialRunner, run_trials
+
+
+def _ok_trial(rng, payload):
+    return payload
+
+
+def _raising_trial(rng, payload):
+    raise RuntimeError(f"injected failure {payload}")
+
+
+def _flaky_trial(rng, payload):
+    """Fails on the first attempt only, using a marker file as memory."""
+    marker = payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("attempt 1")
+        raise RuntimeError("transient failure")
+    return "recovered"
+
+
+def _kill_worker_trial(rng, payload):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _kill_worker_once_trial(rng, payload):
+    marker = payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("attempt 1")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "survived"
+
+
+def _sleeping_trial(rng, payload):
+    time.sleep(60)
+    return "never"
+
+
+class TestRaisingTrial:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_structured_error_after_one_retry(self, workers):
+        runner = TrialRunner(_raising_trial, workers=workers)
+        results = runner.run(["x"], seed=0)
+        error = results[0].error
+        assert isinstance(error, TrialError)
+        assert error.kind == "exception"
+        assert error.attempts == 2
+        assert "injected failure x" in error.message
+        assert "RuntimeError" in error.traceback
+        assert runner.last_stats.failures == 1
+        assert runner.last_stats.retries == 1
+
+    def test_other_trials_still_complete(self):
+        def_payloads = ["a", "b"]
+        runner = TrialRunner(_raising_trial, workers=2)
+        mixed = TrialRunner(_ok_trial, workers=2).run(def_payloads, seed=0)
+        assert [r.value for r in mixed] == def_payloads
+        results = runner.run(def_payloads, seed=0)
+        assert all(not r.ok for r in results)
+        assert sorted(r.index for r in results) == [0, 1]
+
+    def test_run_values_raises_trial_failed(self):
+        with pytest.raises(TrialFailed) as excinfo:
+            run_trials(_raising_trial, ["boom"], workers=2)
+        assert excinfo.value.error.kind == "exception"
+
+    def test_retry_heals_transient_failure(self, tmp_path):
+        marker = str(tmp_path / "flaky-marker")
+        results = TrialRunner(_flaky_trial, workers=2).run([marker], seed=0)
+        assert results[0].ok
+        assert results[0].value == "recovered"
+        assert results[0].attempts == 2
+
+
+class TestKilledWorker:
+    def test_structured_error_after_one_retry(self):
+        runner = TrialRunner(_kill_worker_trial, workers=2)
+        start = time.monotonic()
+        results = runner.run([None], seed=0)
+        elapsed = time.monotonic() - start
+        error = results[0].error
+        assert error is not None
+        assert error.kind == "worker-crash"
+        assert error.attempts == 2
+        assert elapsed < 60, "broken pool must not hang"
+
+    def test_pool_recovers_for_innocent_trials(self, tmp_path):
+        """A crash-once trial is re-queued onto a rebuilt pool and succeeds."""
+        marker = str(tmp_path / "kill-marker")
+        results = TrialRunner(_kill_worker_once_trial, workers=1).run(
+            [marker], seed=0
+        )
+        assert results[0].ok
+        assert results[0].value == "survived"
+        assert results[0].attempts == 2
+
+    def test_runner_usable_after_crash(self):
+        runner = TrialRunner(_kill_worker_trial, workers=1)
+        runner.run([None], seed=0)
+        healthy = TrialRunner(_ok_trial, workers=1).run([1, 2], seed=0)
+        assert [r.value for r in healthy] == [1, 2]
+
+
+class TestTimeout:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_structured_error_after_one_retry(self, workers):
+        runner = TrialRunner(_sleeping_trial, workers=workers, timeout=0.3)
+        start = time.monotonic()
+        results = runner.run([None], seed=0)
+        elapsed = time.monotonic() - start
+        error = results[0].error
+        assert error is not None
+        assert error.kind == "timeout"
+        assert error.attempts == 2
+        # two attempts at ~0.3 s each, far below the 60 s sleep
+        assert elapsed < 30
+
+    def test_fast_trial_unaffected_by_timeout(self):
+        results = TrialRunner(_ok_trial, workers=2, timeout=30.0).run(
+            ["quick"], seed=0
+        )
+        assert results[0].ok
+        assert results[0].value == "quick"
+        assert results[0].attempts == 1
