@@ -8,10 +8,18 @@ Commands
 ``simulate``   realise one finite-n network and measure its flow-level rate
 ``sweep``      measure a capacity curve lambda(n) and fit its exponent
 ``reproduce``  regenerate the paper's artifacts into a results directory
+``runs``       list/inspect/garbage-collect a persistent experiment store
 
 ``sweep`` and ``reproduce`` accept ``--workers N`` to fan Monte-Carlo
 trials out over ``N`` processes (``0`` = all cores); results are
 bit-identical at any worker count (see ``repro.parallel``).
+
+They also accept ``--store DIR`` to journal every completed trial into a
+persistent, content-addressed store (see ``repro.store``): re-invoking the
+same command -- including after an interruption -- replays the journaled
+trials and only executes the missing ones, with the final digest
+bit-identical to an uninterrupted cold run.  ``--no-cache`` forces
+recomputation while still refreshing the journal.
 """
 
 from __future__ import annotations
@@ -110,6 +118,28 @@ def _workers(args):
     return TrialRunner.resolve_workers(args.workers)
 
 
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="journal completed trials into this persistent store and "
+        "replay any already journaled there (resumable runs)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="with --store: recompute every trial (no replay) but still "
+        "refresh the journal",
+    )
+
+
+def _store(args):
+    """CLI --store/--no-cache values -> RunStore (None without --store)."""
+    if args.store is None:
+        return None
+    from .store import RunStore
+
+    return RunStore(args.store, use_cache=not args.no_cache)
+
+
 def _cmd_sweep(args) -> int:
     from .experiments.scaling import sweep_capacity
 
@@ -122,6 +152,7 @@ def _cmd_sweep(args) -> int:
         trials=args.trials,
         seed=args.seed,
         workers=_workers(args),
+        store=_store(args),
     )
     print(params.describe())
     for n, rate in zip(result.n_values, result.rates):
@@ -130,7 +161,66 @@ def _cmd_sweep(args) -> int:
     print(f"theory slope {result.theory_exponent:+.3f}, measured {measured}")
     if result.stats is not None:
         print(result.stats.summary())
+        if args.store is not None:
+            print(
+                f"cache: {result.stats.cache_hits} hit(s), "
+                f"{result.stats.cache_misses} miss(es) (store: {args.store})"
+            )
+    print(f"digest: {result.digest()}")
     return 0
+
+
+def _cmd_runs(args) -> int:
+    """Inspect a persistent experiment store (list / show / gc)."""
+    from .store import RunStore
+    from .utils.tables import render_table
+
+    store = RunStore(args.store)
+    if args.action == "list":
+        runs = store.list_runs()
+        if not runs:
+            print(f"no runs recorded in {args.store}")
+            return 0
+        rows = []
+        for run in runs:
+            stats = run.get("stats") or {}
+            trials = stats.get("trials", len(run.get("trial_keys", [])))
+            rows.append(
+                [
+                    run.get("run_id", "?"),
+                    run.get("command", "?"),
+                    run.get("created", "?"),
+                    str(trials),
+                    str(stats.get("cache_hits", 0)),
+                    (run.get("digest") or "-")[:12],
+                    (run.get("provenance") or {}).get("git_sha", "?")[:12],
+                ]
+            )
+        print(render_table(
+            ["run id", "command", "created", "trials", "hits", "digest", "git"],
+            rows,
+        ))
+        print(f"{len(runs)} run(s), {len(store)} journaled trial(s)")
+        return 0
+    if args.action == "show":
+        if not args.run_id:
+            print("runs show requires a RUN_ID", file=sys.stderr)
+            return 2
+        import json
+
+        try:
+            manifest = store.load_run(args.run_id)
+        except KeyError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(json.dumps(manifest, indent=2))
+        return 0
+    if args.action == "gc":
+        stats = store.gc(keep=args.keep, drop_orphans=args.drop_orphans)
+        print(stats.summary())
+        return 0
+    print(f"unknown runs action {args.action!r}", file=sys.stderr)
+    return 2
 
 
 def _cmd_reproduce(args) -> int:
@@ -142,12 +232,13 @@ def _cmd_reproduce(args) -> int:
     import pathlib
 
     from .experiments.figure1 import CLUSTERED_PARAMS, UNIFORM_PARAMS, make_panels
-    from .experiments.figure2 import trace_scheme_b
+    from .experiments.figure2 import trace_scheme_b_sessions
     from .experiments.figure3 import compute_figure3
     from .experiments.table1 import TABLE1_ROWS, measure_row
     from .utils.tables import render_table
 
     workers = _workers(args)
+    store = _store(args)
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     if args.grid:
@@ -172,11 +263,15 @@ def _cmd_reproduce(args) -> int:
     for row in TABLE1_ROWS:
         kwargs = {"mobility": "static"} if row.sweep_scheme == "C" else {}
         result = measure_row(
-            row, grid, trials=trials, seed=7, build_kwargs=kwargs, workers=workers
+            row, grid, trials=trials, seed=7, build_kwargs=kwargs,
+            workers=workers, store=store,
         )
         measured = "fail" if result.fit is None else f"{result.fit.exponent:+.3f}"
         rows.append([row.label, f"{result.theory_exponent:+.3f}", measured])
-        print(f"  measured: {row.label}")
+        cached = ""
+        if store is not None and result.stats is not None and result.stats.cache_hits:
+            cached = f" ({result.stats.cache_hits} trial(s) from cache)"
+        print(f"  measured: {row.label}{cached}")
     sections.append(render_table(["row", "theory slope", "measured slope"], rows))
 
     sections.append("\n## Figure 1 (density summaries)\n")
@@ -189,12 +284,17 @@ def _cmd_reproduce(args) -> int:
         n_fig,
         seed=42,
         workers=workers,
+        store=store,
     )
     sections.append(left.summary())
     sections.append(right.summary())
 
     sections.append("\n## Figure 2 (scheme B trace)\n")
-    trace = trace_scheme_b(400 if args.quick else 600, np.random.default_rng(5))
+    # one trial per traced session; [0] matches the historical
+    # trace_scheme_b(n, default_rng(5)) output exactly
+    trace = trace_scheme_b_sessions(
+        400 if args.quick else 600, seed=5, workers=workers, store=store
+    )[0]
     sections.extend(trace.lines())
 
     sections.append("\n## Figure 3 (phase diagrams)\n")
@@ -248,6 +348,7 @@ def main(argv=None) -> int:
         help="fan trials out over N processes (0 = all cores; "
         "results are identical at any worker count)",
     )
+    _add_store_arguments(cmd)
     cmd.set_defaults(func=_cmd_sweep)
 
     cmd = commands.add_parser(
@@ -266,13 +367,35 @@ def main(argv=None) -> int:
         "--workers", type=int, default=None, metavar="N",
         help="fan Monte-Carlo trials out over N processes (0 = all cores)",
     )
+    _add_store_arguments(cmd)
     cmd.set_defaults(func=_cmd_reproduce)
+
+    cmd = commands.add_parser(
+        "runs", help="list/inspect/garbage-collect a persistent store"
+    )
+    cmd.add_argument("action", choices=["list", "show", "gc"])
+    cmd.add_argument("run_id", nargs="?", default=None,
+                     help="manifest id (or unambiguous prefix) for 'show'")
+    cmd.add_argument("--store", default="results", metavar="DIR",
+                     help="store directory (default: results)")
+    cmd.add_argument("--keep", type=int, default=None, metavar="N",
+                     help="gc: keep only the newest N run manifests")
+    cmd.add_argument(
+        "--drop-orphans", action="store_true",
+        help="gc: also drop journal entries referenced by no kept manifest "
+        "(default keeps them -- they are what makes killed runs resumable)",
+    )
+    cmd.set_defaults(func=_cmd_runs)
 
     args = parser.parse_args(argv)
     try:
         return args.func(args)
     except InvalidParameters as error:
         print(f"invalid parameters: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # e.g. --store pointing at a file, or an unwritable directory
+        print(f"store error: {error}", file=sys.stderr)
         return 2
 
 

@@ -17,8 +17,14 @@ import numpy as np
 
 from ..core.regimes import NetworkParameters
 from ..parallel import TrialRunner
+from ..store import content_digest, open_store
 from ..utils.fitting import fit_power_law
-from .scaling import _sweep_trial, sweep_trial_payloads, theory_order
+from .scaling import (
+    _sweep_trial,
+    _sweep_trial_keys,
+    sweep_trial_payloads,
+    theory_order,
+)
 
 __all__ = ["ConvergenceStudy", "windowed_slopes"]
 
@@ -68,28 +74,52 @@ def windowed_slopes(
     build_kwargs: Optional[dict] = None,
     generic: bool = False,
     workers: Optional[int] = None,
+    store=None,
 ) -> ConvergenceStudy:
     """Measure ``lambda(n)`` on the grid and fit slopes per sliding window.
 
     ``window`` consecutive grid points feed each local fit; windows slide by
     one point.  Needs ``len(n_values) >= window >= 2``.  ``workers`` fans
     the trials out over a process pool with worker-count-independent seeding
-    (see :class:`repro.parallel.TrialRunner`).
+    (see :class:`repro.parallel.TrialRunner`).  ``store`` replays journaled
+    trials and journals fresh ones (see :mod:`repro.store`); a convergence
+    study shares its trial keys with :func:`~.scaling.sweep_capacity`, so a
+    sweep over the same family/grid/seed warms the study's cache and vice
+    versa.
     """
+    store = open_store(store)
     n_values = np.asarray(sorted(n_values), dtype=int)
     if window < 2 or window > n_values.shape[0]:
         raise ValueError(
             f"window must be in [2, {n_values.shape[0]}], got {window}"
         )
     payloads = sweep_trial_payloads(
-        parameters, n_values, scheme, trials, build_kwargs, generic
+        parameters, n_values, scheme, trials, build_kwargs, generic, seed=seed
     )
-    samples = TrialRunner(_sweep_trial, workers=workers).run_values(
-        payloads, seed=seed
-    )
+    keys = _sweep_trial_keys(payloads) if store is not None else None
+    runner = TrialRunner(_sweep_trial, workers=workers)
+    samples = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
     rates = np.median(
         np.asarray(samples, dtype=float).reshape(n_values.shape[0], trials), axis=1
     )
+    if store is not None:
+        store.record_run(
+            command="convergence",
+            config={
+                "scheme": scheme,
+                "n_values": [int(n) for n in n_values],
+                "window": window,
+                "trials": trials,
+                "seed": seed,
+                "build_kwargs": build_kwargs or {},
+                "generic": generic,
+                "workers": workers,
+            },
+            parameters=parameters,
+            trial_keys=keys,
+            digest=content_digest([float(rate) for rate in rates]),
+            stats=runner.last_stats,
+        )
     centers, slopes = [], []
     for start in range(n_values.shape[0] - window + 1):
         chunk_n = n_values[start:start + window]

@@ -18,18 +18,23 @@ one network realisation and reports delivered-packet delay statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..core.regimes import NetworkParameters
 from ..mobility.processes import IIDAroundHome
+from ..parallel import TrialRunner
 from ..simulation.engine import SlottedSimulator
 from ..simulation.network import HybridNetwork
 from ..simulation.routers import SchemeARouter, SchemeBRouter, TwoHopRelayRouter
 from ..simulation.traffic import permutation_traffic
+from ..store import TrialSeed, open_store, trial_key
 
 __all__ = ["DelayComparison", "compare_delays"]
+
+#: The three forwarding disciplines, in report order.
+DELAY_SCHEMES = ("scheme-A", "two-hop", "scheme-B")
 
 
 @dataclass(frozen=True)
@@ -52,57 +57,128 @@ class DelayComparison:
         return out
 
 
+def _scheme_a_router(net):
+    scheme = net.scheme_a()
+    return SchemeARouter(
+        scheme.tessellation, scheme.tessellation.cell_of(net.home_model.points)
+    )
+
+
+def _two_hop_router(net):
+    return TwoHopRelayRouter(net.n)
+
+
+def _scheme_b_router(net):
+    ms_zone, bs_zone, _ = type(net.scheme_b()).squarelet_zones(
+        net.home_model.points, net.bs_positions, 2
+    )
+    return SchemeBRouter(ms_zone, bs_zone, net.backbone, net.rng)
+
+
+#: label -> (router factory, whether BSs join the contact graph)
+_DISCIPLINES = {
+    "scheme-A": (_scheme_a_router, False),
+    "two-hop": (_two_hop_router, False),
+    "scheme-B": (_scheme_b_router, True),
+}
+
+
+def _delay_trial(rng: np.random.Generator, payload: tuple) -> dict:
+    """One forwarding discipline's packet simulation (module-level so it
+    pickles into pool workers).
+
+    Each discipline rebuilds the *same* realisation from the payload's seed
+    (the comparison is on one network), so the runner-provided generator is
+    ignored and the trial is a pure function of the payload.
+    """
+    label, parameters, n, seed, slots, arrival_prob = payload
+    router_factory, include_bs = _DISCIPLINES[label]
+    rng = np.random.default_rng(seed)
+    net = HybridNetwork.build(parameters, n, rng)
+    traffic = permutation_traffic(rng, n)
+    process = IIDAroundHome(
+        net.home_model.points, net.shape, 1.0 / net.realized.f, rng
+    )
+    static = net.bs_positions if include_bs else None
+    scheduler = net.scheduler()
+    router = router_factory(net)
+    sim = SlottedSimulator(
+        process, scheduler, router, traffic, arrival_prob, rng,
+        static_positions=static,
+    )
+    metrics = sim.run(slots)
+    return {
+        "label": label,
+        "mean_delay": metrics.mean_delay,
+        "mean_hops": metrics.mean_hops,
+        "delivered": metrics.delivered,
+        # per-trial timing carried into the run manifest
+        "elapsed_seconds": metrics.elapsed_seconds,
+    }
+
+
 def compare_delays(
     n: int,
     seed: int,
     slots: int = 4000,
     arrival_prob: float = 0.002,
     parameters: NetworkParameters = None,
+    workers: Optional[int] = None,
+    store=None,
 ) -> DelayComparison:
     """Run scheme A, two-hop relay and scheme B at light load on one
-    realisation and collect delay statistics."""
+    realisation and collect delay statistics.
+
+    The three disciplines are independent trials (each rebuilds the same
+    realisation from ``seed``), so ``workers`` fans them out over a process
+    pool -- the PR-1 rollout skipped this module -- with results identical
+    to the serial run.  ``store`` replays journaled discipline runs and
+    journals fresh ones (see :mod:`repro.store`).
+    """
     if parameters is None:
         parameters = NetworkParameters(
             alpha="1/4", cluster_exponent=1, bs_exponent="7/8",
             backbone_exponent=1,
         )
-    mean_delay, mean_hops, delivered = {}, {}, {}
-
-    def run(label, router_factory, include_bs):
-        rng = np.random.default_rng(seed)
-        net = HybridNetwork.build(parameters, n, rng)
-        traffic = permutation_traffic(rng, n)
-        process = IIDAroundHome(
-            net.home_model.points, net.shape, 1.0 / net.realized.f, rng
+    store = open_store(store)
+    payloads = [
+        (label, parameters, n, seed, slots, arrival_prob)
+        for label in DELAY_SCHEMES
+    ]
+    keys = None
+    if store is not None:
+        keys = [
+            trial_key(
+                parameters,
+                label,
+                n,
+                TrialSeed(seed, 0),
+                extra={
+                    "experiment": "delay",
+                    "slots": slots,
+                    "arrival_prob": arrival_prob,
+                },
+            )
+            for label in DELAY_SCHEMES
+        ]
+    runner = TrialRunner(_delay_trial, workers=workers)
+    outcomes = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+    if store is not None:
+        store.record_run(
+            command="delay",
+            config={
+                "n": n,
+                "seed": seed,
+                "slots": slots,
+                "arrival_prob": arrival_prob,
+                "workers": workers,
+            },
+            parameters=parameters,
+            trial_keys=keys,
+            durations=[outcome["elapsed_seconds"] for outcome in outcomes],
+            stats=runner.last_stats,
         )
-        static = net.bs_positions if include_bs else None
-        scheduler = net.scheduler()
-        router = router_factory(net)
-        sim = SlottedSimulator(
-            process, scheduler, router, traffic, arrival_prob, rng,
-            static_positions=static,
-        )
-        metrics = sim.run(slots)
-        mean_delay[label] = metrics.mean_delay
-        mean_hops[label] = metrics.mean_hops
-        delivered[label] = metrics.delivered
-
-    def scheme_a_router(net):
-        scheme = net.scheme_a()
-        return SchemeARouter(
-            scheme.tessellation, scheme.tessellation.cell_of(net.home_model.points)
-        )
-
-    def two_hop_router(net):
-        return TwoHopRelayRouter(net.n)
-
-    def scheme_b_router(net):
-        ms_zone, bs_zone, _ = type(net.scheme_b()).squarelet_zones(
-            net.home_model.points, net.bs_positions, 2
-        )
-        return SchemeBRouter(ms_zone, bs_zone, net.backbone, net.rng)
-
-    run("scheme-A", scheme_a_router, include_bs=False)
-    run("two-hop", two_hop_router, include_bs=False)
-    run("scheme-B", scheme_b_router, include_bs=True)
+    mean_delay = {outcome["label"]: outcome["mean_delay"] for outcome in outcomes}
+    mean_hops = {outcome["label"]: outcome["mean_hops"] for outcome in outcomes}
+    delivered = {outcome["label"]: outcome["delivered"] for outcome in outcomes}
     return DelayComparison(mean_delay, mean_hops, delivered)

@@ -21,6 +21,7 @@ from ..core.regimes import NetworkParameters
 from ..mobility.clustered import place_home_points
 from ..mobility.shapes import UniformDiskShape
 from ..parallel import TrialRunner
+from ..store import TrialSeed, open_store, trial_key
 
 __all__ = [
     "Figure1Panel",
@@ -88,8 +89,15 @@ def make_panel(
 
 
 def _panel_trial(rng: np.random.Generator, payload: tuple) -> Figure1Panel:
-    """One Figure-1 panel realisation (module-level so it pickles)."""
-    parameters, n, label, grid_side = payload
+    """One Figure-1 panel realisation (module-level so it pickles).
+
+    The payload's explicit :class:`TrialSeed` (when present) rebuilds the
+    exact generator the runner would have spawned for this index, making
+    the panel a pure function of the payload (cacheable by content key).
+    """
+    parameters, n, label, grid_side = payload[:4]
+    if len(payload) > 4 and payload[4] is not None:
+        rng = payload[4].rng()
     return make_panel(parameters, n, rng, label, grid_side=grid_side)
 
 
@@ -99,13 +107,46 @@ def make_panels(
     seed: int = 0,
     grid_side: int = 24,
     workers: Optional[int] = None,
+    store=None,
 ) -> List[Figure1Panel]:
     """Realise several Figure-1 panels as independent parallel trials.
 
     Each ``(parameters, label)`` spec becomes one :class:`TrialRunner`
     trial with its own spawned seed, so panel contents do not depend on the
     worker count (unlike threading panels through one shared generator).
+    ``store`` replays journaled panels and journals fresh ones, recording a
+    provenance manifest (see :mod:`repro.store`).
     """
-    payloads = [(parameters, n, label, grid_side) for parameters, label in specs]
+    store = open_store(store)
+    payloads = [
+        (parameters, n, label, grid_side, TrialSeed(seed, index))
+        for index, (parameters, label) in enumerate(specs)
+    ]
+    keys = None
+    if store is not None:
+        keys = [
+            trial_key(
+                p_params,
+                None,
+                p_n,
+                p_seed,
+                extra={"experiment": "figure1", "label": p_label, "grid_side": p_grid},
+            )
+            for p_params, p_n, p_label, p_grid, p_seed in payloads
+        ]
     runner = TrialRunner(_panel_trial, workers=workers)
-    return runner.run_values(payloads, seed=seed)
+    panels = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+    if store is not None:
+        store.record_run(
+            command="figure1",
+            config={
+                "labels": [label for _params, label in specs],
+                "n": n,
+                "seed": seed,
+                "grid_side": grid_side,
+                "workers": workers,
+            },
+            trial_keys=keys,
+            stats=runner.last_stats,
+        )
+    return panels

@@ -12,15 +12,17 @@ feasibility numbers of each phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.regimes import NetworkParameters
+from ..parallel import TrialRunner
 from ..simulation.network import HybridNetwork
 from ..simulation.traffic import permutation_traffic
+from ..store import TrialSeed, open_store, trial_key
 
-__all__ = ["SchemeBTrace", "trace_scheme_b"]
+__all__ = ["SchemeBTrace", "trace_scheme_b", "trace_scheme_b_sessions"]
 
 #: A strong-mobility, infrastructure-dominant family where scheme B carries
 #: the traffic (matches the spirit of the paper's illustration).
@@ -76,3 +78,73 @@ def trace_scheme_b(
         per_node_rate=result.per_node_rate,
         bottleneck=result.bottleneck,
     )
+
+
+def _trace_trial(rng: np.random.Generator, payload: tuple) -> SchemeBTrace:
+    """One traced session (module-level so it pickles into pool workers).
+
+    Every session of one figure shares the same network seed (the paper's
+    figure annotates *one* realisation), so the generator is rebuilt from
+    the payload's network seed rather than taken from the runner -- which
+    also makes the trace a pure function of the payload, as the cache keys
+    require.
+    """
+    parameters, n, network_seed, session_index = payload
+    return trace_scheme_b(
+        n,
+        np.random.default_rng(network_seed),
+        parameters=parameters,
+        session_index=session_index,
+    )
+
+
+def trace_scheme_b_sessions(
+    n: int,
+    seed: int = 5,
+    parameters: NetworkParameters = FIGURE2_PARAMS,
+    session_indices: Sequence[int] = (0,),
+    workers: Optional[int] = None,
+    store=None,
+) -> List[SchemeBTrace]:
+    """Trace several sessions of one scheme-B realisation in parallel.
+
+    The PR-1 :class:`TrialRunner` rollout skipped Figure 2; this is its
+    parallel driver: each session index becomes one trial (``workers`` fans
+    them out over a process pool), every trial rebuilds the *same* network
+    from ``seed``, and ``trace_scheme_b_sessions(n, seed)[0]`` reproduces
+    ``trace_scheme_b(n, default_rng(seed))`` exactly.  ``store`` replays
+    journaled traces and journals fresh ones (see :mod:`repro.store`).
+    """
+    store = open_store(store)
+    payloads = [
+        (parameters, n, seed, int(session_index))
+        for session_index in session_indices
+    ]
+    keys = None
+    if store is not None:
+        keys = [
+            trial_key(
+                parameters,
+                "B",
+                n,
+                TrialSeed(seed, 0),
+                extra={"experiment": "figure2", "session_index": int(session_index)},
+            )
+            for session_index in session_indices
+        ]
+    runner = TrialRunner(_trace_trial, workers=workers)
+    traces = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+    if store is not None:
+        store.record_run(
+            command="figure2",
+            config={
+                "n": n,
+                "seed": seed,
+                "session_indices": [int(index) for index in session_indices],
+                "workers": workers,
+            },
+            parameters=parameters,
+            trial_keys=keys,
+            stats=runner.last_stats,
+        )
+    return traces

@@ -24,6 +24,7 @@ from ..core.phase_diagram import PhaseDiagram, compute_phase_diagram, dominance
 from ..core.regimes import NetworkParameters
 from ..parallel import TrialRunner
 from ..simulation.network import HybridNetwork
+from ..store import TrialSeed, open_store, trial_key
 
 __all__ = ["Figure3", "compute_figure3", "simulated_spot_checks", "SpotCheck"]
 
@@ -124,17 +125,49 @@ def simulated_spot_checks(
     n: int,
     seed: int = 0,
     workers: Optional[int] = None,
+    store=None,
 ) -> List[SpotCheck]:
     """Measure scheme A vs scheme B rates at selected ``(alpha, K, phi)``.
 
     Each point should sit strictly inside a region (not on a boundary).
     The points are independent trials, so ``workers`` fans them out over a
     process pool; per-point seeds are spawned by index from ``seed``, making
-    the checks identical at any worker count.
+    the checks identical at any worker count.  ``store`` replays journaled
+    spot checks keyed by ``(alpha, K, phi, n, point seed)`` and journals
+    fresh ones (see :mod:`repro.store`).
     """
+    store = open_store(store)
     payloads = [
         (alpha, big_k, phi, n, seed + index)
         for index, (alpha, big_k, phi) in enumerate(points)
     ]
+    keys = None
+    if store is not None:
+        # the point seed is the full randomness of a spot check (the trial
+        # rebuilds its generator from it), so it doubles as the seed slot of
+        # the content key
+        keys = [
+            trial_key(
+                {"alpha": alpha, "K": big_k, "phi": phi},
+                "A-vs-B",
+                n,
+                TrialSeed(point_seed, 0),
+                extra={"experiment": "figure3-spot-check"},
+            )
+            for alpha, big_k, phi, n, point_seed in payloads
+        ]
     runner = TrialRunner(_spot_check_trial, workers=workers)
-    return runner.run_values(payloads, seed=seed)
+    checks = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+    if store is not None:
+        store.record_run(
+            command="figure3-spot-checks",
+            config={
+                "points": [list(point) for point in points],
+                "n": n,
+                "seed": seed,
+                "workers": workers,
+            },
+            trial_keys=keys,
+            stats=runner.last_stats,
+        )
+    return checks

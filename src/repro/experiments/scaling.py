@@ -10,7 +10,7 @@ exponent of :mod:`repro.core.capacity`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,9 +21,10 @@ from ..core.capacity import (
 )
 from ..core.order import Order
 from ..core.regimes import MobilityRegime, NetworkParameters
-from ..parallel import TrialRunner, TrialStats
+from ..parallel import TrialFailed, TrialRunner, TrialStats
 from ..routing.base import FlowResult
 from ..simulation.network import HybridNetwork
+from ..store import TrialSeed, content_digest, open_store, trial_key
 from ..utils.fitting import PowerLawFit, fit_power_law
 
 __all__ = [
@@ -100,6 +101,11 @@ class SweepResult:
     fit: Optional[PowerLawFit]
     #: Throughput counters of the trial fan-out (None for legacy results).
     stats: Optional["TrialStats"] = None
+    #: Master seed of the sweep (None for legacy results).
+    seed: Optional[int] = None
+    #: Explicit per-trial seeds, aligned with the payload list (trial ``i``
+    #: ran on ``trial_seeds[i]`` regardless of submission order or caching).
+    trial_seeds: Optional[Tuple[TrialSeed, ...]] = None
 
     @property
     def exponent_error(self) -> float:
@@ -107,6 +113,25 @@ class SweepResult:
         if self.fit is None:
             return float("inf")
         return abs(self.fit.exponent - self.theory_exponent)
+
+    def digest(self) -> str:
+        """Content hash of the sweep's identity and measured rates.
+
+        Two sweeps with the same digest measured the same family, grid and
+        seeds and obtained bit-identical rates -- the equality checked by
+        the resume tests and the CI cache job (a resumed or re-worker-ed
+        run must reproduce a cold run's digest exactly).
+        """
+        return content_digest(
+            {
+                "parameters": self.parameters,
+                "scheme": self.scheme,
+                "n_values": [int(n) for n in self.n_values],
+                "trials": self.trials,
+                "seed": self.seed,
+                "rates": [float(rate) for rate in self.rates],
+            }
+        )
 
     def row(self) -> list:
         """Values for a result table row."""
@@ -138,8 +163,17 @@ def measure_rate(
 
 
 def _sweep_trial(rng: np.random.Generator, payload: tuple) -> float:
-    """One sweep trial (module-level so it pickles into pool workers)."""
-    parameters, n, scheme, build_kwargs, generic = payload
+    """One sweep trial (module-level so it pickles into pool workers).
+
+    Payloads carry an explicit :class:`TrialSeed`; the generator is rebuilt
+    from it (bit-identical to the runner's index-spawned stream), so the
+    trial's value is fully determined by the payload itself -- the property
+    the content-addressed cache keys rely on.  Legacy 5-tuples without a
+    seed fall back to the runner-provided generator.
+    """
+    parameters, n, scheme, build_kwargs, generic = payload[:5]
+    if len(payload) > 5 and payload[5] is not None:
+        rng = payload[5].rng()
     result = measure_rate(parameters, n, rng, scheme, **build_kwargs)
     if generic:
         return float(result.details.get("generic_rate", result.per_node_rate))
@@ -153,18 +187,39 @@ def sweep_trial_payloads(
     trials: int,
     build_kwargs: Optional[dict] = None,
     generic: bool = False,
+    seed: int = 0,
 ) -> list:
     """The flat (n-major, trial-minor) payload list one sweep fans out.
 
-    Trial ``index`` always maps to the same ``(n, trial)`` slot, which --
-    together with :class:`TrialRunner`'s index-keyed seed spawning -- makes
-    sweep results independent of worker count and scheduling order.
+    Trial ``index`` always maps to the same ``(n, trial)`` slot, and each
+    payload carries ``TrialSeed(seed, index)`` explicitly -- the same stream
+    :class:`TrialRunner` would spawn for that index -- which makes sweep
+    results independent of worker count, scheduling order *and* submission
+    order, and gives the cache keys a seed that lives in the payload rather
+    than in list position.
     """
     build_kwargs = build_kwargs or {}
-    return [
+    flat = [
         (parameters, int(n), scheme, build_kwargs, generic)
         for n in sorted(n_values)
         for _ in range(trials)
+    ]
+    return [
+        payload + (TrialSeed(seed, index),) for index, payload in enumerate(flat)
+    ]
+
+
+def _sweep_trial_keys(payloads: Sequence[tuple]) -> list:
+    """Content-hash cache key of each sweep payload."""
+    return [
+        trial_key(
+            parameters,
+            scheme,
+            n,
+            seed,
+            extra={"build_kwargs": build_kwargs, "generic": generic},
+        )
+        for parameters, n, scheme, build_kwargs, generic, seed in payloads
     ]
 
 
@@ -177,6 +232,7 @@ def sweep_capacity(
     build_kwargs: Optional[dict] = None,
     generic: bool = False,
     workers: Optional[int] = None,
+    store=None,
 ) -> SweepResult:
     """Measure ``lambda(n)`` over a grid of ``n`` and fit the exponent.
 
@@ -196,6 +252,14 @@ def sweep_capacity(
     (:class:`repro.parallel.TrialRunner`).  Per-trial seeds are spawned by
     trial index from the master ``seed``, so any worker count -- including
     the inline default ``None`` -- produces bit-identical rates.
+
+    ``store`` (a :class:`repro.store.RunStore` or a directory path) makes
+    the sweep durable and resumable: completed trials already journaled
+    under the same content key are replayed from disk, only the missing
+    ones execute (and are journaled as they finish), and a run manifest
+    with full provenance is recorded.  The resulting rates -- and therefore
+    :meth:`SweepResult.digest` -- are bit-identical with or without the
+    cache, at any worker count.
     """
     if scheme not in SCHEME_SELECTORS:
         raise ValueError(
@@ -203,12 +267,18 @@ def sweep_capacity(
         )
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
+    store = open_store(store)
     n_values = np.asarray(sorted(n_values), dtype=int)
     payloads = sweep_trial_payloads(
-        parameters, n_values, scheme, trials, build_kwargs, generic
+        parameters, n_values, scheme, trials, build_kwargs, generic, seed=seed
     )
+    keys = _sweep_trial_keys(payloads) if store is not None else None
     runner = TrialRunner(_sweep_trial, workers=workers)
-    samples = runner.run_values(payloads, seed=seed)
+    results = runner.run(payloads, seed=seed, cache=store, keys=keys)
+    for trial_result in results:
+        if not trial_result.ok:
+            raise TrialFailed(trial_result.error)
+    samples = [trial_result.value for trial_result in results]
     rates = np.median(
         np.asarray(samples, dtype=float).reshape(n_values.shape[0], trials), axis=1
     )
@@ -217,7 +287,7 @@ def sweep_capacity(
     if int(positive.sum()) >= 2:
         fit = fit_power_law(n_values[positive], rates[positive])
     theory = float(theory_order(parameters, scheme).poly_exponent)
-    return SweepResult(
+    sweep = SweepResult(
         parameters=parameters,
         scheme=scheme,
         n_values=n_values,
@@ -226,4 +296,25 @@ def sweep_capacity(
         theory_exponent=theory,
         fit=fit,
         stats=runner.last_stats,
+        seed=seed,
+        trial_seeds=tuple(payload[5] for payload in payloads),
     )
+    if store is not None:
+        store.record_run(
+            command="sweep",
+            config={
+                "scheme": scheme,
+                "n_values": [int(n) for n in n_values],
+                "trials": trials,
+                "seed": seed,
+                "build_kwargs": build_kwargs or {},
+                "generic": generic,
+                "workers": workers,
+            },
+            parameters=parameters,
+            trial_keys=keys,
+            digest=sweep.digest(),
+            durations=[trial_result.duration for trial_result in results],
+            stats=runner.last_stats,
+        )
+    return sweep

@@ -137,12 +137,15 @@ def measure_row(
     seed: int = 0,
     build_kwargs: Optional[Dict] = None,
     workers: Optional[int] = None,
+    store=None,
 ) -> SweepResult:
     """Run the capacity sweep for one Table-I row.
 
     ``workers`` parallelises the sweep's trials over a process pool with
     results bit-identical to the serial run (see
-    :class:`repro.parallel.TrialRunner`).
+    :class:`repro.parallel.TrialRunner`).  ``store`` makes the row's sweep
+    resumable: journaled trials are replayed, fresh ones are journaled, and
+    a provenance manifest is recorded (see :mod:`repro.store`).
     """
     return sweep_capacity(
         row.parameters,
@@ -153,4 +156,5 @@ def measure_row(
         build_kwargs=build_kwargs,
         generic=row.use_generic_rate,
         workers=workers,
+        store=store,
     )

@@ -34,6 +34,16 @@ signature ``trial_fn(rng, payload) -> value`` and the value must be
 picklable too.  ``workers=None`` runs the same code path inline with no
 subprocesses -- handy under debuggers and the baseline for the determinism
 tests.
+
+Caching (the :mod:`repro.store` integration): :meth:`TrialRunner.run`
+accepts an optional duck-typed ``cache`` (``get(key) -> obj with .value and
+.duration, or None``; ``put(key, value, duration)``) plus one content-hash
+``key`` per trial.  Keyed trials are looked up *before* submission -- hits
+are returned as :class:`TrialResult` with ``cached=True`` and never touch
+the pool -- and journaled via ``cache.put`` the moment they complete, so an
+interrupted run preserves every finished trial.  Seeds are still spawned
+for the **full** payload list by trial index, so a partially-cached run
+hands every executing trial exactly the generator a cold run would.
 """
 
 from __future__ import annotations
@@ -95,9 +105,12 @@ class TrialResult:
     index: int
     value: Any
     attempts: int
-    #: In-worker wall-clock seconds of the successful attempt (0 on failure).
+    #: In-worker wall-clock seconds of the successful attempt (0 on failure;
+    #: the *original* execution's duration when served from cache).
     duration: float
     error: Optional[TrialError] = None
+    #: Whether the value was served from the trial cache (attempts == 0).
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -114,6 +127,13 @@ class TrialStats:
     retries: int
     elapsed_seconds: float
     workers: Optional[int]
+    #: Trials served from the cache instead of executed.
+    cache_hits: int = 0
+
+    @property
+    def cache_misses(self) -> int:
+        """Trials that actually executed (total minus cache hits)."""
+        return self.trials - self.cache_hits
 
     @property
     def trials_per_second(self) -> float:
@@ -125,9 +145,14 @@ class TrialStats:
     def summary(self) -> str:
         """One-line human-readable digest."""
         mode = "inline" if self.workers is None else f"{self.workers} workers"
+        cache = (
+            f" cache_hits={self.cache_hits}/{self.trials}"
+            if self.cache_hits
+            else ""
+        )
         return (
             f"trials={self.trials} failures={self.failures} "
-            f"retries={self.retries} elapsed={self.elapsed_seconds:.2f}s "
+            f"retries={self.retries}{cache} elapsed={self.elapsed_seconds:.2f}s "
             f"({self.trials_per_second:.1f} trials/s, {mode})"
         )
 
@@ -245,44 +270,80 @@ class TrialRunner:
         payloads: Sequence[Any],
         seed: int = 0,
         submission_order: Optional[Sequence[int]] = None,
+        cache: Optional[Any] = None,
+        keys: Optional[Sequence[Optional[str]]] = None,
     ) -> List[TrialResult]:
         """Run one trial per payload; results are ordered by trial index.
 
         ``submission_order`` permutes only the order in which trials are
         handed to the pool (used by the determinism tests to prove the
         results do not depend on it).
+
+        ``cache`` + ``keys`` enable the persistent trial cache: ``keys[i]``
+        is the content-hash key of trial ``i`` (``None`` = uncacheable).
+        Hits skip execution entirely (``cached=True``, ``attempts=0``);
+        fresh successes are journaled via ``cache.put`` as they complete,
+        so a killed run keeps every finished trial.  Seeds are spawned for
+        the full payload list regardless of hits, keeping results
+        bit-identical to an uncached run at any worker count.
         """
         payloads = list(payloads)
         count = len(payloads)
+        if keys is not None and len(keys) != count:
+            raise ValueError(
+                f"need one key per payload: {len(keys)} keys, {count} payloads"
+            )
         if count == 0:
             self._last_stats = TrialStats(0, 0, 0, 0.0, self._workers)
             return []
         order = list(range(count)) if submission_order is None else list(submission_order)
         if sorted(order) != list(range(count)):
             raise ValueError("submission_order must be a permutation of the trial indices")
-        seeds = np.random.SeedSequence(seed).spawn(count)
         start = time.perf_counter()
-        if self._workers is None:
-            results = self._run_inline(payloads, seeds, order)
-        else:
-            results = self._run_pool(payloads, seeds, order)
+        results: List[Optional[TrialResult]] = [None] * count
+        if cache is not None and keys is not None:
+            for index in range(count):
+                if keys[index] is None:
+                    continue
+                hit = cache.get(keys[index])
+                if hit is not None:
+                    results[index] = TrialResult(
+                        index=index,
+                        value=hit.value,
+                        attempts=0,
+                        duration=hit.duration,
+                        cached=True,
+                    )
+        cache_hits = sum(1 for r in results if r is not None)
+        remaining = [index for index in order if results[index] is None]
+        if remaining:
+            seeds = np.random.SeedSequence(seed).spawn(count)
+            if self._workers is None:
+                self._run_inline(payloads, seeds, remaining, results, cache, keys)
+            else:
+                self._run_pool(payloads, seeds, remaining, results, cache, keys)
         elapsed = time.perf_counter() - start
         failures = sum(1 for r in results if not r.ok)
-        retries = sum(r.attempts - 1 for r in results)
+        retries = sum(max(r.attempts - 1, 0) for r in results)
         self._last_stats = TrialStats(
             trials=count,
             failures=failures,
             retries=retries,
             elapsed_seconds=elapsed,
             workers=self._workers,
+            cache_hits=cache_hits,
         )
-        return results
+        return results  # type: ignore[return-value]
 
     def run_values(
-        self, payloads: Sequence[Any], seed: int = 0
+        self,
+        payloads: Sequence[Any],
+        seed: int = 0,
+        cache: Optional[Any] = None,
+        keys: Optional[Sequence[Optional[str]]] = None,
     ) -> List[Any]:
         """Like :meth:`run` but unwrap values, raising on the first failure."""
-        results = self.run(payloads, seed=seed)
+        results = self.run(payloads, seed=seed, cache=cache, keys=keys)
         for result in results:
             if not result.ok:
                 raise TrialFailed(result.error)
@@ -309,8 +370,16 @@ class TrialRunner:
         )
         return TrialResult(index=index, value=None, attempts=attempts, duration=0.0, error=error)
 
-    def _run_inline(self, payloads, seeds, order) -> List[TrialResult]:
-        results: List[Optional[TrialResult]] = [None] * len(payloads)
+    @staticmethod
+    def _journal(cache, keys, result: TrialResult) -> None:
+        """Durably record one freshly-computed success in the trial cache."""
+        if cache is None or keys is None or not result.ok:
+            return
+        key = keys[result.index]
+        if key is not None:
+            cache.put(key, result.value, result.duration)
+
+    def _run_inline(self, payloads, seeds, order, results, cache, keys) -> None:
         for index in order:
             attempts = 0
             while True:
@@ -320,11 +389,10 @@ class TrialRunner:
                 )
                 if outcome[0] == "ok" or attempts > self._retries:
                     results[index] = self._finish(outcome, attempts)
+                    self._journal(cache, keys, results[index])
                     break
-        return results  # type: ignore[return-value]
 
-    def _run_pool(self, payloads, seeds, order) -> List[TrialResult]:
-        results: List[Optional[TrialResult]] = [None] * len(payloads)
+    def _run_pool(self, payloads, seeds, order, results, cache, keys) -> None:
         pending = deque(order)
         attempts = [0] * len(payloads)
         window = self._workers * self._chunk_size
@@ -368,6 +436,7 @@ class TrialRunner:
                         continue
                     if outcome[0] == "ok" or attempts[index] > self._retries:
                         results[index] = self._finish(outcome, attempts[index])
+                        self._journal(cache, keys, results[index])
                     else:
                         pending.append(index)
                 if not done and self._deadline_exceeded(inflight):
@@ -390,7 +459,6 @@ class TrialRunner:
                     executor = ProcessPoolExecutor(max_workers=self._workers)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
-        return results  # type: ignore[return-value]
 
     def _record_crash(self, results, pending, attempts, index, hard_timed_out):
         """Re-queue a trial whose worker died, or surface the error."""

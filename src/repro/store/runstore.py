@@ -1,0 +1,344 @@
+"""The on-disk run store: JSONL trial journal plus run manifests.
+
+Layout of a store directory::
+
+    <root>/
+        trials.jsonl        append-only journal, one completed trial per line
+        runs/<run_id>.json  one manifest per recorded run (provenance,
+                            parameters, trial keys, per-trial timing, digest)
+
+Durability model
+----------------
+The journal is strictly append-only and every :meth:`RunStore.put` writes a
+single complete line followed by ``flush`` + ``fsync``.  A process killed
+mid-write can therefore leave at most one truncated line at the *end* of the
+file; the loader skips any line that fails to parse (truncated or corrupted)
+and keeps everything else, so an interrupted sweep resumes from exactly the
+set of trials whose writes completed.  Manifests are written to a temporary
+file and atomically ``os.replace``-d into place, so a manifest is either
+absent or complete -- never half-written.
+
+Entries are keyed by the content hash of
+``(parameters, scheme, n, trial seed, schema version)`` (see
+:mod:`repro.store.keys`); entries stamped with a different
+``SCHEMA_VERSION`` are ignored on load, so schema bumps cold-start the
+cache instead of decoding stale shapes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+import uuid
+from dataclasses import dataclass
+from typing import IO, Any, Dict, List, Optional, Sequence, Union
+
+from .provenance import collect_provenance
+from .serialize import SCHEMA_VERSION, from_jsonable, to_jsonable
+
+__all__ = ["CachedTrial", "GCStats", "RunStore", "open_store"]
+
+
+@dataclass(frozen=True)
+class CachedTrial:
+    """One journaled trial: the decoded value plus its original timing."""
+
+    key: str
+    value: Any
+    #: In-worker wall-clock seconds of the original (uncached) execution.
+    duration: float
+
+
+@dataclass(frozen=True)
+class GCStats:
+    """Outcome of one :meth:`RunStore.gc` pass."""
+
+    runs_removed: int
+    entries_kept: int
+    entries_dropped: int
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"removed {self.runs_removed} run manifest(s); journal: "
+            f"{self.entries_kept} entr{'y' if self.entries_kept == 1 else 'ies'} "
+            f"kept, {self.entries_dropped} dropped"
+        )
+
+
+class RunStore:
+    """Content-addressed trial cache + run manifests in one directory.
+
+    Implements the duck-typed cache interface consumed by
+    :meth:`repro.parallel.TrialRunner.run`:
+
+    - ``get(key) -> Optional[CachedTrial]`` -- lookup before submission;
+    - ``put(key, value, duration)`` -- durable journal-on-completion.
+
+    ``use_cache=False`` turns ``get`` into a constant miss while ``put``
+    keeps journaling, i.e. ``--no-cache`` forces recomputation but still
+    refreshes the store (last write wins on load).
+    """
+
+    JOURNAL_NAME = "trials.jsonl"
+    RUNS_DIR = "runs"
+
+    def __init__(self, root: Union[str, pathlib.Path], use_cache: bool = True):
+        self.root = pathlib.Path(root)
+        self.use_cache = use_cache
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / self.RUNS_DIR).mkdir(exist_ok=True)
+        self._index: Optional[Dict[str, CachedTrial]] = None
+        self._skipped_lines = 0
+        self._journal_handle: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    # cache interface (used by TrialRunner)
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> pathlib.Path:
+        """Path of the append-only trial journal."""
+        return self.root / self.JOURNAL_NAME
+
+    @property
+    def skipped_lines(self) -> int:
+        """Journal lines dropped on the most recent load (corrupt/stale)."""
+        self._ensure_index()
+        return self._skipped_lines
+
+    def get(self, key: str) -> Optional[CachedTrial]:
+        """The cached trial for ``key``, or ``None`` (always ``None`` when
+        ``use_cache`` is off)."""
+        if not self.use_cache:
+            return None
+        self._ensure_index()
+        return self._index.get(key)
+
+    def put(self, key: str, value: Any, duration: float) -> None:
+        """Durably journal one completed trial (single atomic-enough line:
+        complete-or-truncated, never interleaved -- the runner journals from
+        the parent process only)."""
+        record = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "duration": float(duration),
+            "value": to_jsonable(value),
+        }
+        line = json.dumps(record, separators=(",", ":"), allow_nan=False)
+        if self._journal_handle is None:
+            self._journal_handle = open(self.journal_path, "a", encoding="utf-8")
+        self._journal_handle.write(line + "\n")
+        self._journal_handle.flush()
+        os.fsync(self._journal_handle.fileno())
+        if self._index is not None:
+            self._index[key] = CachedTrial(key=key, value=from_jsonable(
+                json.loads(line)["value"]), duration=float(duration))
+
+    def close(self) -> None:
+        """Close the journal append handle (reopened lazily on demand)."""
+        if self._journal_handle is not None:
+            self._journal_handle.close()
+            self._journal_handle = None
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # journal loading
+    # ------------------------------------------------------------------
+    def _ensure_index(self) -> None:
+        if self._index is None:
+            self._index, self._skipped_lines = self._load_journal()
+
+    def reload(self) -> None:
+        """Drop the in-memory index; the next lookup re-reads the journal."""
+        self._index = None
+
+    def _load_journal(self) -> tuple:
+        index: Dict[str, CachedTrial] = {}
+        skipped = 0
+        if not self.journal_path.exists():
+            return index, skipped
+        with open(self.journal_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if record.get("schema") != SCHEMA_VERSION:
+                        skipped += 1
+                        continue
+                    key = record["key"]
+                    trial = CachedTrial(
+                        key=key,
+                        value=from_jsonable(record["value"]),
+                        duration=float(record.get("duration", 0.0)),
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    # truncated tail (killed mid-write) or bit rot: skip the
+                    # line; the owning trial simply reruns.
+                    skipped += 1
+                    continue
+                index[key] = trial  # duplicate keys: last write wins
+        return index, skipped
+
+    def __len__(self) -> int:
+        self._ensure_index()
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+    # run manifests
+    # ------------------------------------------------------------------
+    def record_run(
+        self,
+        command: str,
+        config: Optional[dict] = None,
+        parameters: Any = None,
+        trial_keys: Optional[Sequence[Optional[str]]] = None,
+        digest: Optional[str] = None,
+        durations: Optional[Sequence[float]] = None,
+        stats: Any = None,
+    ) -> str:
+        """Write one run manifest (atomic) and return its ``run_id``.
+
+        ``stats`` accepts a :class:`repro.parallel.TrialStats`;
+        ``durations`` are the per-trial wall-clock seconds (0 for cached
+        trials), aligned with ``trial_keys``.
+        """
+        run_id = time.strftime("%Y%m%d-%H%M%S") + "-" + uuid.uuid4().hex[:8]
+        manifest = {
+            "run_id": run_id,
+            "command": command,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            # sub-second tiebreak so list_runs() order is well defined even
+            # for manifests recorded within the same wall-clock second
+            "created_ts": time.time(),
+            "provenance": collect_provenance(),
+            "parameters": to_jsonable(parameters),
+            "config": to_jsonable(config or {}),
+            "trial_keys": list(trial_keys or []),
+            "digest": digest,
+            "durations": [float(d) for d in (durations or [])],
+        }
+        if stats is not None:
+            manifest["stats"] = {
+                "trials": stats.trials,
+                "failures": stats.failures,
+                "retries": stats.retries,
+                "cache_hits": getattr(stats, "cache_hits", 0),
+                "elapsed_seconds": stats.elapsed_seconds,
+                "workers": stats.workers,
+            }
+        path = self.root / self.RUNS_DIR / f"{run_id}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, allow_nan=False) + "\n")
+        os.replace(tmp, path)
+        return run_id
+
+    def list_runs(self) -> List[dict]:
+        """All readable manifests, newest first."""
+        runs = []
+        for path in (self.root / self.RUNS_DIR).glob("*.json"):
+            try:
+                runs.append(json.loads(path.read_text()))
+            except (json.JSONDecodeError, OSError):
+                continue
+        runs.sort(
+            key=lambda run: (run.get("created", ""), run.get("created_ts", 0.0)),
+            reverse=True,
+        )
+        return runs
+
+    def load_run(self, run_id: str) -> dict:
+        """One manifest by id (prefix match accepted when unambiguous)."""
+        matches = [
+            run
+            for run in self.list_runs()
+            if run.get("run_id", "").startswith(run_id)
+        ]
+        if not matches:
+            raise KeyError(f"no stored run matches {run_id!r}")
+        if len(matches) > 1:
+            ids = ", ".join(run["run_id"] for run in matches)
+            raise KeyError(f"run id {run_id!r} is ambiguous: {ids}")
+        return matches[0]
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def gc(self, keep: Optional[int] = None, drop_orphans: bool = False) -> GCStats:
+        """Prune old manifests and compact the journal.
+
+        ``keep`` retains only the newest ``keep`` manifests.  Compaction
+        always drops corrupt and stale-schema lines and collapses duplicate
+        keys; ``drop_orphans=True`` additionally drops entries referenced by
+        no remaining manifest.  (Orphans are *kept* by default: a killed run
+        writes no manifest, and its journaled trials are exactly what makes
+        the re-invocation resumable.)  The compacted journal is swapped in
+        atomically.
+        """
+        runs = self.list_runs()
+        removed = 0
+        if keep is not None:
+            if keep < 0:
+                raise ValueError(f"keep must be >= 0, got {keep}")
+            for run in runs[keep:]:
+                path = self.root / self.RUNS_DIR / f"{run['run_id']}.json"
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            runs = runs[:keep]
+        referenced = set()
+        for run in runs:
+            referenced.update(key for key in run.get("trial_keys", []) if key)
+
+        self.close()
+        total_lines = 0
+        if self.journal_path.exists():
+            with open(self.journal_path, "r", encoding="utf-8") as handle:
+                total_lines = sum(1 for line in handle if line.strip())
+        index, _ = self._load_journal()
+        kept: Dict[str, CachedTrial] = {}
+        for key, trial in index.items():
+            if drop_orphans and key not in referenced:
+                continue
+            kept[key] = trial
+        # corrupt + stale + duplicate-superseded + orphaned lines all count
+        dropped = total_lines - len(kept)
+        tmp = self.journal_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for key, trial in kept.items():
+                record = {
+                    "schema": SCHEMA_VERSION,
+                    "key": key,
+                    "duration": trial.duration,
+                    "value": to_jsonable(trial.value),
+                }
+                handle.write(
+                    json.dumps(record, separators=(",", ":"), allow_nan=False) + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.journal_path)
+        self._index = None
+        return GCStats(
+            runs_removed=removed, entries_kept=len(kept), entries_dropped=dropped
+        )
+
+
+def open_store(
+    store: Union[None, str, pathlib.Path, RunStore], use_cache: bool = True
+) -> Optional[RunStore]:
+    """Normalise a ``store=`` argument: path-like values open a
+    :class:`RunStore`, existing stores and ``None`` pass through."""
+    if store is None or isinstance(store, RunStore):
+        return store
+    return RunStore(store, use_cache=use_cache)

@@ -69,3 +69,91 @@ class TestReproduce:
         assert "measured slope" in report
         assert "phase 2" in report  # figure 2 trace
         assert "Quick mode" in report
+
+
+SWEEP_ARGS = ["sweep", "--grid", "100,200", "--trials", "1",
+              "--scheme", "A", "--seed", "3"]
+
+
+def sweep_output(capsys, extra):
+    assert main(SWEEP_ARGS + extra) == 0
+    return capsys.readouterr().out
+
+
+def digest_line(out):
+    return next(line for line in out.splitlines() if line.startswith("digest:"))
+
+
+class TestSweepStore:
+    def test_second_invocation_hits_with_identical_digest(self, tmp_path, capsys):
+        store = str(tmp_path / "results")
+        cold = sweep_output(capsys, ["--store", store])
+        warm = sweep_output(capsys, ["--store", store])
+        assert "cache: 0 hit(s), 2 miss(es)" in cold
+        assert "cache: 2 hit(s), 0 miss(es)" in warm
+        assert digest_line(warm) == digest_line(cold)
+
+    def test_store_matches_storeless_digest(self, tmp_path, capsys):
+        bare = sweep_output(capsys, [])
+        stored = sweep_output(capsys, ["--store", str(tmp_path / "results")])
+        assert digest_line(stored) == digest_line(bare)
+        assert "cache:" not in bare
+
+    def test_no_cache_forces_recompute(self, tmp_path, capsys):
+        store = str(tmp_path / "results")
+        sweep_output(capsys, ["--store", store])
+        refreshed = sweep_output(capsys, ["--store", store, "--no-cache"])
+        assert "cache: 0 hit(s), 2 miss(es)" in refreshed
+
+
+class TestRuns:
+    def seed_store(self, tmp_path, capsys):
+        store = str(tmp_path / "results")
+        sweep_output(capsys, ["--store", store])
+        return store
+
+    def test_list_shows_recorded_run(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys)
+        assert main(["runs", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "run id" in out
+        assert "1 run(s), 2 journaled trial(s)" in out
+
+    def test_list_empty_store(self, tmp_path, capsys):
+        assert main(["runs", "list", "--store", str(tmp_path / "empty")]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_show_dumps_manifest(self, tmp_path, capsys):
+        import json
+
+        store = self.seed_store(tmp_path, capsys)
+        from repro.store import RunStore
+
+        run_id = RunStore(store).list_runs()[0]["run_id"]
+        assert main(["runs", "show", run_id[:12], "--store", store]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["command"] == "sweep"
+        assert manifest["provenance"]["schema_version"] == 1
+
+    def test_show_missing_id_errors(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys)
+        assert main(["runs", "show", "nope", "--store", store]) == 2
+        assert "no stored run" in capsys.readouterr().err
+
+    def test_show_without_id_errors(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys)
+        assert main(["runs", "show", "--store", store]) == 2
+        assert "requires" in capsys.readouterr().err
+
+    def test_gc_reports_and_keeps_cache_warm(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys)
+        assert main(["runs", "gc", "--store", store]) == 0
+        assert "2 entries kept" in capsys.readouterr().out
+        warm = sweep_output(capsys, ["--store", store])
+        assert "cache: 2 hit(s)" in warm
+
+    def test_store_path_is_a_file_errors_cleanly(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(SWEEP_ARGS + ["--store", str(blocker)]) == 2
+        assert "store error" in capsys.readouterr().err

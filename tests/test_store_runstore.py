@@ -1,0 +1,206 @@
+"""Unit tests for the on-disk RunStore (journal, manifests, gc)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.store import SCHEMA_VERSION, RunStore, open_store
+from repro.store.keys import TrialSeed, trial_key
+from repro.core.regimes import NetworkParameters
+
+PARAMS = NetworkParameters(alpha="1/4", cluster_exponent=1)
+
+
+def key_for(index, seed=0):
+    return trial_key(PARAMS, "A", 100, TrialSeed(seed, index))
+
+
+class TestJournal:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(key_for(0), 0.125, 1.5)
+        hit = store.get(key_for(0))
+        assert hit.value == 0.125 and hit.duration == 1.5
+
+    def test_miss_returns_none(self, tmp_path):
+        assert RunStore(tmp_path).get(key_for(9)) is None
+
+    def test_persists_across_instances(self, tmp_path):
+        RunStore(tmp_path).put(key_for(0), {"rate": 0.5}, 0.1)
+        hit = RunStore(tmp_path).get(key_for(0))
+        assert hit.value == {"rate": 0.5}
+
+    def test_last_write_wins(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(key_for(0), 1.0, 0.1)
+        store.put(key_for(0), 2.0, 0.2)
+        assert RunStore(tmp_path).get(key_for(0)).value == 2.0
+
+    def test_use_cache_false_misses_but_still_journals(self, tmp_path):
+        writer = RunStore(tmp_path, use_cache=False)
+        writer.put(key_for(0), 3.0, 0.1)
+        assert writer.get(key_for(0)) is None
+        assert RunStore(tmp_path).get(key_for(0)).value == 3.0
+
+    def test_len_counts_unique_keys(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(key_for(0), 1.0, 0.0)
+        store.put(key_for(0), 2.0, 0.0)
+        store.put(key_for(1), 3.0, 0.0)
+        assert len(RunStore(tmp_path)) == 2
+
+
+class TestCorruptionRecovery:
+    def fill(self, tmp_path, count=3):
+        store = RunStore(tmp_path)
+        for index in range(count):
+            store.put(key_for(index), float(index), 0.0)
+        store.close()
+        return store.journal_path
+
+    def test_truncated_final_line_skipped(self, tmp_path):
+        """A SIGKILL mid-append leaves a partial last line; everything
+        before it must survive."""
+        journal = self.fill(tmp_path)
+        text = journal.read_text()
+        journal.write_text(text + '{"schema":%d,"key":"abc","val' % SCHEMA_VERSION)
+        store = RunStore(tmp_path)
+        assert store.get(key_for(0)).value == 0.0
+        assert store.get(key_for(2)).value == 2.0
+        assert store.skipped_lines == 1
+
+    def test_corrupted_middle_line_skipped(self, tmp_path):
+        journal = self.fill(tmp_path)
+        lines = journal.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2] + "#corrupt#"
+        journal.write_text("\n".join(lines) + "\n")
+        store = RunStore(tmp_path)
+        assert store.get(key_for(0)).value == 0.0
+        assert store.get(key_for(1)) is None  # the corrupted one reruns
+        assert store.get(key_for(2)).value == 2.0
+
+    def test_stale_schema_lines_ignored(self, tmp_path):
+        journal = self.fill(tmp_path, count=1)
+        record = json.loads(journal.read_text().splitlines()[0])
+        record["schema"] = SCHEMA_VERSION + 1
+        record["key"] = key_for(7)
+        with open(journal, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        store = RunStore(tmp_path)
+        assert store.get(key_for(0)) is not None
+        assert store.get(key_for(7)) is None
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        journal = self.fill(tmp_path, count=1)
+        journal.write_text(journal.read_text() + "\n\n")
+        assert RunStore(tmp_path).get(key_for(0)) is not None
+
+
+class TestManifests:
+    def test_record_and_load(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.record_run(
+            "sweep",
+            config={"n_values": [100, 200], "seed": 3},
+            parameters=PARAMS,
+            trial_keys=[key_for(0), key_for(1)],
+            digest="d" * 64,
+            durations=[0.1, 0.2],
+        )
+        manifest = store.load_run(run_id)
+        assert manifest["command"] == "sweep"
+        assert manifest["digest"] == "d" * 64
+        assert manifest["config"]["seed"] == 3
+        assert len(manifest["trial_keys"]) == 2
+        for field in ("git_sha", "package_version", "python", "schema_version"):
+            assert field in manifest["provenance"]
+
+    def test_load_by_prefix_and_ambiguity(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.record_run("sweep")
+        assert store.load_run(run_id[:12])["run_id"] == run_id
+        with pytest.raises(KeyError):
+            store.load_run("definitely-missing")
+
+    def test_list_newest_first(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run("first")
+        store.record_run("second")
+        runs = store.list_runs()
+        assert len(runs) == 2
+        assert runs[0]["created"] >= runs[1]["created"]
+
+
+class TestGC:
+    def test_keep_prunes_manifests(self, tmp_path):
+        store = RunStore(tmp_path)
+        for _ in range(3):
+            store.record_run("sweep", trial_keys=[key_for(0)])
+        stats = store.gc(keep=1)
+        assert stats.runs_removed == 2
+        assert len(store.list_runs()) == 1
+
+    def test_compaction_collapses_duplicates(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(key_for(0), 1.0, 0.0)
+        store.put(key_for(0), 2.0, 0.0)
+        stats = store.gc()
+        assert stats.entries_kept == 1 and stats.entries_dropped == 1
+        assert RunStore(tmp_path).get(key_for(0)).value == 2.0
+
+    def test_orphans_kept_by_default(self, tmp_path):
+        """Killed runs write no manifest; their journal entries must
+        survive a default gc so the rerun can resume."""
+        store = RunStore(tmp_path)
+        store.put(key_for(0), 1.0, 0.0)
+        stats = store.gc()
+        assert stats.entries_kept == 1
+        assert RunStore(tmp_path).get(key_for(0)) is not None
+
+    def test_drop_orphans(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(key_for(0), 1.0, 0.0)
+        store.put(key_for(1), 2.0, 0.0)
+        store.record_run("sweep", trial_keys=[key_for(0)])
+        stats = store.gc(drop_orphans=True)
+        assert stats.entries_kept == 1 and stats.entries_dropped == 1
+        fresh = RunStore(tmp_path)
+        assert fresh.get(key_for(0)) is not None
+        assert fresh.get(key_for(1)) is None
+
+    def test_gc_drops_corrupt_lines(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(key_for(0), 1.0, 0.0)
+        store.close()
+        with open(store.journal_path, "a") as handle:
+            handle.write('{"half a line')
+        stats = RunStore(tmp_path).gc()
+        assert stats.entries_dropped == 1
+        # journal is clean again
+        reloaded = RunStore(tmp_path)
+        assert reloaded.get(key_for(0)) is not None
+        assert reloaded.skipped_lines == 0
+
+    def test_negative_keep_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunStore(tmp_path).gc(keep=-1)
+
+
+class TestOpenStore:
+    def test_none_passthrough(self):
+        assert open_store(None) is None
+
+    def test_path_opens(self, tmp_path):
+        store = open_store(tmp_path / "s")
+        assert isinstance(store, RunStore)
+
+    def test_instance_passthrough(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert open_store(store) is store
+
+    def test_ndarray_value_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path)
+        value = np.random.default_rng(1).random(5)
+        store.put(key_for(0), value, 0.0)
+        assert np.array_equal(RunStore(tmp_path).get(key_for(0)).value, value)

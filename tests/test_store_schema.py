@@ -1,0 +1,35 @@
+"""Schema-version discipline for the persistent store.
+
+The journal tags every entry with ``SCHEMA_VERSION`` and ignores entries
+from other versions, so caches survive payload evolution safely -- but only
+if the version is actually bumped when the payload shapes change.  The pin
+below fails whenever a registered payload dataclass (or NetworkParameters)
+gains, loses, or retypes a field without a version bump.
+"""
+
+from repro.store import SCHEMA_VERSION, schema_fingerprint
+
+# Fingerprint of every registered payload dataclass's (name, field:type)
+# signature at SCHEMA_VERSION = 1.
+PINNED_FINGERPRINTS = {
+    1: "39450d6f7454a2faa28bd945b3d44b4ab1c2f57499d77e4edd272e0fd6655321",
+}
+
+
+def test_schema_version_is_pinned():
+    assert SCHEMA_VERSION in PINNED_FINGERPRINTS, (
+        f"SCHEMA_VERSION={SCHEMA_VERSION} has no pinned fingerprint. Add "
+        f"{SCHEMA_VERSION}: {schema_fingerprint()!r} to PINNED_FINGERPRINTS."
+    )
+
+
+def test_payload_change_requires_version_bump():
+    actual = schema_fingerprint()
+    expected = PINNED_FINGERPRINTS[SCHEMA_VERSION]
+    assert actual == expected, (
+        "The trial payload schema changed (a registered payload dataclass "
+        "gained/lost/retyped a field) but SCHEMA_VERSION was not bumped. "
+        "Stale journal entries would decode into the new shapes. Bump "
+        "SCHEMA_VERSION in src/repro/store/serialize.py and pin the new "
+        f"fingerprint {actual!r} in this test."
+    )
