@@ -1,0 +1,98 @@
+"""Cell-grid neighbor index scaling benchmark.
+
+``PolicySStar.schedule`` is the per-slot hot path of every mobile sweep.
+The dense path rebuilds an ``n x n`` torus distance matrix per slot
+(``O(n^2)`` time and memory); the cell-grid index enumerates only the
+``Theta(1)``-per-node guard-radius candidates (``O(n)`` expected).  This
+benchmark times both paths at ``n in {1k, 4k, 16k}``, asserts the schedules
+stay bit-identical, writes ``BENCH_neighbors.json`` (slots/s per path, peak
+candidate counts) for the CI artifact, and enforces the acceptance bars:
+
+- the sparse path must not be slower than dense at ``n = 4000``;
+- the sparse path must be ``>= 5x`` faster at ``n = 16000``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry.neighbors import CellGridIndex
+from repro.geometry.torus import pairwise_distances
+from repro.wireless.scheduler import PolicySStar
+
+from conftest import report
+
+#: (n, sparse slots, dense slots) -- fewer dense slots at large n keeps the
+#: O(n^2) side tractable; the sparse side is cheap enough to average more.
+GRID = ((1_000, 16, 8), (4_000, 8, 4), (16_000, 4, 1))
+#: c_T = 0.5 keeps the expected guard-disk occupancy pi (2 c_T)^2 ~ 3, so a
+#: realistic fraction of candidate pairs actually gets enabled.
+C_T = 0.5
+DELTA = 1.0
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_neighbors.json"
+
+
+def _slot_positions(n, slots):
+    rng = np.random.default_rng(1234 + n)
+    return [rng.random((n, 2)) for _ in range(slots)]
+
+
+def _bench_size(n, sparse_slots, dense_slots):
+    """Time sparse vs dense scheduling over fresh per-slot realisations."""
+    policy = PolicySStar(n, c_t=C_T, delta=DELTA)
+    positions = _slot_positions(n, sparse_slots)
+
+    start = time.perf_counter()
+    sparse_schedules = [
+        policy.schedule(p, index=CellGridIndex(p)) for p in positions
+    ]
+    sparse_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    dense_schedules = [
+        policy.schedule(p, distances=pairwise_distances(p))
+        for p in positions[:dense_slots]
+    ]
+    dense_elapsed = time.perf_counter() - start
+
+    for fast, slow in zip(sparse_schedules, dense_schedules):
+        assert fast.pairs == slow.pairs  # bit-identical schedules
+
+    guard = (1.0 + DELTA) * policy.transmission_range()
+    candidates = int(CellGridIndex(positions[0]).pairs_within(guard)[0].size)
+    sparse_rate = sparse_slots / sparse_elapsed
+    dense_rate = dense_slots / dense_elapsed
+    return {
+        "n": n,
+        "sparse_slots": sparse_slots,
+        "dense_slots": dense_slots,
+        "enabled_pairs": len(sparse_schedules[0]),
+        "sparse_candidates": candidates,
+        "sparse_slots_per_s": sparse_rate,
+        "dense_slots_per_s": dense_rate,
+        "speedup": sparse_rate / dense_rate,
+    }
+
+
+def test_neighbor_index_scaling(once):
+    rows = once(
+        lambda: [_bench_size(n, sparse, dense) for n, sparse, dense in GRID]
+    )
+    OUTPUT.write_text(json.dumps({"results": rows}, indent=2) + "\n")
+    lines = [
+        f"n={row['n']:>6}: sparse {row['sparse_slots_per_s']:8.1f} slots/s, "
+        f"dense {row['dense_slots_per_s']:8.1f} slots/s, "
+        f"speedup {row['speedup']:6.1f}x "
+        f"({row['sparse_candidates']} candidates, "
+        f"{row['enabled_pairs']} enabled)"
+        for row in rows
+    ]
+    report("cell-grid neighbor index scaling", "\n".join(lines))
+    by_n = {row["n"]: row for row in rows}
+    assert by_n[4_000]["speedup"] >= 1.0, "sparse path slower than dense at n=4k"
+    assert by_n[16_000]["speedup"] >= 5.0, (
+        f"expected >= 5x at n=16k, measured {by_n[16_000]['speedup']:.1f}x"
+    )

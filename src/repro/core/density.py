@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..geometry.neighbors import CellGridIndex
 from ..geometry.torus import pairwise_distances
 from ..mobility.shapes import MobilityShape
 
@@ -58,8 +59,12 @@ def local_density(
     per_node = (math.pi * radius ** 2) * (f ** 2) * shape.density(f * distances) / z
     rho = per_node.sum(axis=1)
     if bs_positions is not None and len(bs_positions):
-        bs_distances = pairwise_distances(probes, np.atleast_2d(bs_positions))
-        rho = rho + (bs_distances <= radius).sum(axis=1)
+        # BS contribution is an indicator count inside the probe disk: a
+        # sparse cross-set radius query instead of a probes x BS matrix.
+        probe_idx, _, _ = CellGridIndex(np.atleast_2d(bs_positions)).neighbors_of(
+            probes, radius
+        )
+        rho = rho + np.bincount(probe_idx, minlength=probes.shape[0])
     return rho
 
 

@@ -1,6 +1,23 @@
-"""Torus geometry and square tessellations."""
+"""Torus geometry, square tessellations, and the cell-grid neighbor index."""
 
+from .neighbors import (
+    CellGridIndex,
+    adjacency_lists,
+    iter_distance_chunks,
+    masked_nearest,
+    pair_distances,
+)
 from .tessellation import SquareTessellation
 from .torus import pairwise_distances, torus_distance, wrap
 
-__all__ = ["SquareTessellation", "pairwise_distances", "torus_distance", "wrap"]
+__all__ = [
+    "CellGridIndex",
+    "SquareTessellation",
+    "adjacency_lists",
+    "iter_distance_chunks",
+    "masked_nearest",
+    "pair_distances",
+    "pairwise_distances",
+    "torus_distance",
+    "wrap",
+]

@@ -25,6 +25,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..geometry.neighbors import DEFAULT_CHUNK, iter_distance_chunks
 from ..geometry.tessellation import SquareTessellation
 from ..geometry.torus import pairwise_distances
 from ..infrastructure.backbone import Backbone
@@ -159,24 +160,24 @@ class SchemeB(RoutingScheme):
         shape: MobilityShape,
         f: float,
         transmission_range: float,
-        chunk_size: int = 2048,
+        chunk_size: int = DEFAULT_CHUNK,
     ) -> np.ndarray:
         """``mu_i^A`` per MS, computed zone-masked and chunked so no
-        ``n x k`` matrix is ever materialised."""
+        ``n x k`` matrix is ever materialised (row blocks come from the
+        shared :func:`~repro.geometry.neighbors.iter_distance_chunks`)."""
         ms_home = np.atleast_2d(np.asarray(ms_home, dtype=float))
         bs_positions = np.atleast_2d(np.asarray(bs_positions, dtype=float))
         ms_zone = np.asarray(ms_zone, dtype=int)
         bs_zone = np.asarray(bs_zone, dtype=int)
-        n = ms_home.shape[0]
-        access = np.zeros(n, dtype=float)
-        for start in range(0, n, chunk_size):
-            stop = min(start + chunk_size, n)
-            distances = pairwise_distances(ms_home[start:stop], bs_positions)
+        access = np.zeros(ms_home.shape[0], dtype=float)
+        for rows, distances in iter_distance_chunks(
+            ms_home, bs_positions, chunk_size
+        ):
             mu = contact_probability_ms_bs_at_range(
                 shape, f, transmission_range, distances
             )
-            mask = ms_zone[start:stop, None] == bs_zone[None, :]
-            access[start:stop] = np.where(mask, mu, 0.0).sum(axis=1)
+            mask = ms_zone[rows, None] == bs_zone[None, :]
+            access[rows] = np.where(mask, mu, 0.0).sum(axis=1)
         return access
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ from typing import Dict
 import networkx as nx
 import numpy as np
 
+from ..geometry.neighbors import masked_nearest
 from ..geometry.torus import pairwise_distances
 from ..infrastructure.backbone import Backbone
 from typing import TYPE_CHECKING
@@ -87,24 +88,18 @@ class SchemeC(RoutingScheme):
     def _attach(self) -> np.ndarray:
         """Nearest same-cluster BS for each MS (-1 when the cluster has none).
 
-        Chunked over MSs so no full ``n x k`` matrix is materialised; the
-        attach distances are kept for the TDMA range computation.
+        Delegates to the shared chunked
+        :func:`~repro.geometry.neighbors.masked_nearest` helper so no full
+        ``n x k`` matrix is materialised; the attach distances are kept for
+        the TDMA range computation.
         """
-        n = self._ms.shape[0]
-        cell = np.full(n, -1, dtype=int)
-        attach_distance = np.full(n, np.inf)
-        for start in range(0, n, self._CHUNK):
-            stop = min(start + self._CHUNK, n)
-            distances = pairwise_distances(self._ms[start:stop], self._bs)
-            same = (
-                self._ms_cluster[start:stop, None] == self._bs_cluster[None, :]
-            )
-            masked = np.where(same, distances, np.inf)
-            best = masked.argmin(axis=1)
-            best_distance = masked[np.arange(stop - start), best]
-            found = np.isfinite(best_distance)
-            cell[start:stop][found] = best[found]
-            attach_distance[start:stop][found] = best_distance[found]
+        cell, attach_distance = masked_nearest(
+            self._ms,
+            self._bs,
+            point_labels=self._ms_cluster,
+            other_labels=self._bs_cluster,
+            chunk_size=self._CHUNK,
+        )
         self._attach_distance = attach_distance
         return cell
 

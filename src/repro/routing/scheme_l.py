@@ -31,6 +31,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
+from ..geometry.neighbors import CellGridIndex
 from ..geometry.torus import pairwise_distances
 from ..infrastructure.backbone import Backbone
 from typing import TYPE_CHECKING
@@ -102,13 +103,23 @@ class SchemeL(RoutingScheme):
     # access-graph construction
     # ------------------------------------------------------------------
     def _multi_source_bfs(self):
-        """Hop distance and hop-nearest BS for each MS (within ``L``)."""
+        """Hop distance and hop-nearest BS for each MS (within ``L``).
+
+        The unit-disk access graph comes from a cell-grid radius query, so
+        building it costs ``O(edges)`` memory instead of an
+        ``(n + k)^2`` adjacency matrix.
+        """
         n, k = self._ms.shape[0], self._bs.shape[0]
         positions = np.vstack([self._ms, self._bs])
-        distances = pairwise_distances(positions)
-        adjacency = distances <= self._range
-        np.fill_diagonal(adjacency, False)
-        graph = csr_matrix(adjacency.astype(np.int8))
+        total = n + k
+        i, j, _ = CellGridIndex(positions).pairs_within(self._range)
+        graph = csr_matrix(
+            (
+                np.ones(2 * i.size, dtype=np.int8),
+                (np.concatenate([i, j]), np.concatenate([j, i])),
+            ),
+            shape=(total, total),
+        )
         hop_matrix, predecessors = dijkstra(
             graph,
             directed=False,

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..geometry.neighbors import CellGridIndex
 from ..mobility.processes import MobilityProcess
 from ..wireless.scheduler import Scheduler
 from .metrics import SimulationMetrics
@@ -176,7 +177,12 @@ class SlottedSimulator:
         if self._static is not None:
             positions = np.vstack([positions, self._static])
         self._spawn_packets()
-        schedule = self._scheduler.schedule(positions)
+        # One cell-grid index per slot over the advanced positions; the
+        # scheduler runs its guard-zone queries against it instead of a
+        # dense n x n distance matrix.
+        schedule = self._scheduler.schedule(
+            positions, index=CellGridIndex(positions)
+        )
         for a, b in schedule.pairs:
             # Each enabled pair serves one packet in each direction
             # (Definition 10 splits the bandwidth symmetrically).

@@ -19,8 +19,10 @@ from __future__ import annotations
 import math
 
 import numpy as np
+from scipy.sparse import coo_matrix
 from scipy.sparse.csgraph import connected_components, minimum_spanning_tree
 
+from ..geometry.neighbors import CellGridIndex
 from ..geometry.torus import pairwise_distances
 
 __all__ = [
@@ -38,19 +40,24 @@ def critical_range(n: int) -> float:
     return math.sqrt(math.log(n) / (math.pi * n))
 
 
-def _adjacency(positions: np.ndarray, transmission_range: float) -> np.ndarray:
-    distances = pairwise_distances(np.atleast_2d(np.asarray(positions, dtype=float)))
-    adjacency = (distances <= transmission_range).astype(float)
-    np.fill_diagonal(adjacency, 0.0)
-    return adjacency
+def _unit_disk_graph(positions: np.ndarray, transmission_range: float) -> coo_matrix:
+    """Sparse unit-disk graph (edges iff torus distance ``<= R_T``).
+
+    Edges come from a cell-grid radius query, so memory is proportional to
+    the edge count instead of ``n^2``.
+    """
+    positions = np.atleast_2d(np.asarray(positions, dtype=float))
+    n = positions.shape[0]
+    i, j, _ = CellGridIndex(positions).pairs_within(transmission_range)
+    return coo_matrix((np.ones(i.size), (i, j)), shape=(n, n))
 
 
 def connected_component_count(positions: np.ndarray, transmission_range: float) -> int:
     """Number of connected components of the unit-disk graph at range ``R_T``."""
     if transmission_range <= 0:
         raise ValueError(f"range must be positive, got {transmission_range}")
-    adjacency = _adjacency(positions, transmission_range)
-    count, _ = connected_components(adjacency, directed=False)
+    graph = _unit_disk_graph(positions, transmission_range)
+    count, _ = connected_components(graph.tocsr(), directed=False)
     return int(count)
 
 

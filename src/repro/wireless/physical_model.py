@@ -154,8 +154,14 @@ class GreedySINRScheduler(Scheduler):
         return self._range
 
     def schedule(
-        self, positions: np.ndarray, distances: Optional[np.ndarray] = None
+        self,
+        positions: np.ndarray,
+        distances: Optional[np.ndarray] = None,
+        index=None,
     ) -> Schedule:
+        # SINR feasibility aggregates interference from *every* transmitter,
+        # so the dense gain matrix is inherent to the model; the cell-grid
+        # ``index`` accepted by the Scheduler interface is unused here.
         positions = np.atleast_2d(np.asarray(positions, dtype=float))
         if distances is None:
             distances = pairwise_distances(positions)

@@ -16,10 +16,11 @@ endpoints; Theorem 2 shows the restriction costs nothing in order terms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..geometry.neighbors import CellGridIndex, pair_distances
 from ..geometry.torus import pairwise_distances, torus_distance
 
 __all__ = ["ProtocolModel", "Link"]
@@ -58,8 +59,34 @@ class ProtocolModel:
         links: Sequence[Link],
         transmission_range: float,
     ) -> bool:
-        """Whether a set of simultaneous (tx, rx) links satisfies Definition 4."""
-        return not self.violations(positions, links, transmission_range)
+        """Whether a set of simultaneous (tx, rx) links satisfies Definition 4.
+
+        Vectorized over the link set (range checks and the transmitter ->
+        receiver guard matrix in one shot); :meth:`violations` remains the
+        loop transcription used for diagnostics, and both agree on every
+        schedule (``tests/test_protocol_model.py``).
+        """
+        links = list(links)
+        if not links:
+            return True
+        positions = np.atleast_2d(np.asarray(positions, dtype=float))
+        tx = np.array([a for a, _ in links], dtype=np.int64)
+        rx = np.array([b for _, b in links], dtype=np.int64)
+        if np.any(tx == rx):
+            return False
+        endpoints = np.concatenate([tx, rx])
+        if np.unique(endpoints).size != endpoints.size:
+            return False
+        if np.any(pair_distances(positions, tx, rx) > transmission_range):
+            return False
+        guard = self.guard_factor * transmission_range
+        interference = pairwise_distances(positions[tx], positions[rx])
+        offending = (
+            (interference < guard)
+            & (tx[:, None] != tx[None, :])
+            & (tx[:, None] != rx[None, :])
+        )
+        return not bool(offending.any())
 
     def violations(
         self,
@@ -115,6 +142,7 @@ class ProtocolModel:
         transmission_range: float,
         distances: np.ndarray = None,
         reference: bool = False,
+        index: Optional[CellGridIndex] = None,
     ) -> List[Link]:
         """All unordered pairs enabled by policy ``S*`` (Definition 10).
 
@@ -124,17 +152,32 @@ class ProtocolModel:
         exactly the two endpoints.  The returned pairs are automatically
         node-disjoint and interference-free.
 
-        ``reference=True`` selects the direct Python-loop transcription of
-        Definition 10 (``O(n^2 * pairs)``); the default is a vectorized
-        formulation over the distance matrix.  Both produce identical pairs
-        in identical order (``tests/test_scheduler_equivalence.py``).
+        Three evaluation paths, all producing identical pairs in identical
+        order (``tests/test_scheduler_equivalence.py``):
+
+        - default: sparse guard-radius candidates from a
+          :class:`~repro.geometry.neighbors.CellGridIndex` (``O(n)``
+          expected work and memory at the ``S*`` range; pass ``index`` to
+          reuse a per-slot index across policies);
+        - ``distances=``: the vectorized dense-matrix formulation (kept for
+          callers that already hold the matrix);
+        - ``reference=True``: the direct Python-loop transcription of
+          Definition 10 (``O(n^2 * pairs)``), the semantic spec.
         """
         positions = np.atleast_2d(np.asarray(positions, dtype=float))
-        if distances is None:
-            distances = pairwise_distances(positions)
         if reference:
+            if distances is None:
+                distances = pairwise_distances(positions)
             return self._strict_pairs_reference(distances, transmission_range)
-        return self._strict_pairs_vectorized(distances, transmission_range)
+        if distances is not None:
+            return self._strict_pairs_vectorized(distances, transmission_range)
+        if transmission_range <= 0:
+            return []
+        if index is None:
+            index = CellGridIndex(positions)
+        return self._strict_pairs_sparse(
+            index, positions.shape[0], transmission_range
+        )
 
     def _strict_pairs_reference(
         self, distances: np.ndarray, transmission_range: float
@@ -178,6 +221,31 @@ class ProtocolModel:
             & lonely[None, :]
         )
         return [(int(i), int(j)) for i, j in np.argwhere(enabled)]
+
+    def _strict_pairs_sparse(
+        self, index: CellGridIndex, count: int, transmission_range: float
+    ) -> List[Link]:
+        """Definition 10 over sparse guard-radius candidates.
+
+        Every pair that can influence the guard count lies within
+        ``(1 + Delta) R_T`` of one of its endpoints, so one
+        ``pairs_within(guard)`` query yields both the in-range candidates
+        and the per-node guard-disk occupancies (via ``bincount``); the
+        candidate arrays arrive lexicographically sorted, matching the
+        dense ``argwhere`` order, and the distances are bit-identical to
+        the dense kernel's.
+        """
+        guard = self.guard_factor * transmission_range
+        i, j, dist = index.pairs_within(guard)
+        inside = dist < guard
+        guard_count = (
+            np.bincount(i[inside], minlength=count)
+            + np.bincount(j[inside], minlength=count)
+            + 1
+        )
+        lonely = guard_count == 2
+        enabled = (dist < transmission_range) & lonely[i] & lonely[j]
+        return [(int(a), int(b)) for a, b in zip(i[enabled], j[enabled])]
 
     def cross_cluster_interference_count(
         self,

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..geometry.neighbors import CellGridIndex, adjacency_lists, pair_distances
 from ..geometry.torus import pairwise_distances
 from .protocol_model import Link, ProtocolModel
 
@@ -69,9 +70,19 @@ class Scheduler(abc.ABC):
 
     @abc.abstractmethod
     def schedule(
-        self, positions: np.ndarray, distances: Optional[np.ndarray] = None
+        self,
+        positions: np.ndarray,
+        distances: Optional[np.ndarray] = None,
+        index: Optional[CellGridIndex] = None,
     ) -> Schedule:
-        """Select the enabled pairs for one slot from current positions."""
+        """Select the enabled pairs for one slot from current positions.
+
+        ``index`` optionally supplies a prebuilt
+        :class:`~repro.geometry.neighbors.CellGridIndex` over ``positions``
+        (the simulator builds one per slot); ``distances`` optionally
+        injects the dense matrix, forcing the dense evaluation path.  Both
+        paths return bit-identical schedules.
+        """
 
 
 class PolicySStar(Scheduler):
@@ -116,10 +127,17 @@ class PolicySStar(Scheduler):
         return self._c_t / math.sqrt(node_count)
 
     def schedule(
-        self, positions: np.ndarray, distances: Optional[np.ndarray] = None
+        self,
+        positions: np.ndarray,
+        distances: Optional[np.ndarray] = None,
+        index: Optional[CellGridIndex] = None,
     ) -> Schedule:
         pairs = self._model.strict_pairs(
-            positions, self._range, distances=distances, reference=self._reference
+            positions,
+            self._range,
+            distances=distances,
+            reference=self._reference,
+            index=index,
         )
         return Schedule(pairs=tuple(pairs), transmission_range=self._range)
 
@@ -145,10 +163,17 @@ class VariableRangeScheduler(Scheduler):
         return self._range
 
     def schedule(
-        self, positions: np.ndarray, distances: Optional[np.ndarray] = None
+        self,
+        positions: np.ndarray,
+        distances: Optional[np.ndarray] = None,
+        index: Optional[CellGridIndex] = None,
     ) -> Schedule:
         pairs = self._model.strict_pairs(
-            positions, self._range, distances=distances, reference=self._reference
+            positions,
+            self._range,
+            distances=distances,
+            reference=self._reference,
+            index=index,
         )
         return Schedule(pairs=tuple(pairs), transmission_range=self._range)
 
@@ -162,9 +187,17 @@ class GreedyMatchingScheduler(Scheduler):
     receiver is outside the guard zone of every already-chosen transmitter
     (and vice versa), i.e. exactly Definition 4 against the chosen set.
 
+    Candidates are served in ``(distance, a, b)`` order -- the endpoint
+    tie-break keeps the outcome deterministic however the candidate set was
+    enumerated (dense row-major scan or sparse cell-grid stencil).
+
     ``reference=True`` keeps the original per-link feasibility scan over the
-    chosen set; the default maintains a vectorized ``blocked`` mask updated
-    once per accepted link.  Both select identical links in identical order
+    chosen set and forces the dense distance matrix; passing ``distances=``
+    selects the dense ``blocked``-mask path; the default consumes sparse
+    guard-radius candidates from a
+    :class:`~repro.geometry.neighbors.CellGridIndex` with per-endpoint
+    neighbor lists standing in for the dense guard rows.  All paths select
+    identical links in identical order
     (``tests/test_scheduler_equivalence.py``).
     """
 
@@ -190,26 +223,90 @@ class GreedyMatchingScheduler(Scheduler):
         positions: np.ndarray,
         distances: Optional[np.ndarray] = None,
         candidates: Optional[Sequence[Link]] = None,
+        index: Optional[CellGridIndex] = None,
     ) -> Schedule:
         positions = np.atleast_2d(np.asarray(positions, dtype=float))
-        if distances is None:
-            distances = pairwise_distances(positions)
-        if candidates is None:
-            rows, cols = np.nonzero(np.triu(distances <= self._range, k=1))
-            candidates = list(zip(rows.tolist(), cols.tolist()))
-        else:
-            candidates = [
-                (int(a), int(b))
-                for a, b in candidates
-                if distances[a, b] <= self._range
-            ]
-        candidates.sort(key=lambda pair: distances[pair[0], pair[1]])
         guard = self._model.guard_factor * self._range
-        if self._reference:
-            chosen = self._select_reference(candidates, distances, guard)
-        else:
-            chosen = self._select_vectorized(candidates, distances, guard)
+        if self._reference or distances is not None:
+            if distances is None:
+                distances = pairwise_distances(positions)
+            if candidates is None:
+                rows, cols = np.nonzero(np.triu(distances <= self._range, k=1))
+                candidates = list(zip(rows.tolist(), cols.tolist()))
+            else:
+                candidates = [
+                    (int(a), int(b))
+                    for a, b in candidates
+                    if distances[a, b] <= self._range
+                ]
+            candidates.sort(
+                key=lambda pair: (distances[pair[0], pair[1]], pair[0], pair[1])
+            )
+            if self._reference:
+                chosen = self._select_reference(candidates, distances, guard)
+            else:
+                chosen = self._select_vectorized(candidates, distances, guard)
+            return Schedule(pairs=tuple(chosen), transmission_range=self._range)
+        if index is None:
+            index = CellGridIndex(positions)
+        chosen = self._select_sparse(positions, index, candidates, guard)
         return Schedule(pairs=tuple(chosen), transmission_range=self._range)
+
+    def _select_sparse(
+        self,
+        positions: np.ndarray,
+        index: CellGridIndex,
+        candidates: Optional[Sequence[Link]],
+        guard: float,
+    ) -> List[Link]:
+        """Greedy selection over sparse cell-grid candidates.
+
+        One ``pairs_within(guard)`` query supplies both the in-range
+        candidate pairs (``guard >= R_T``) and, as CSR neighbor lists, the
+        strict-``< guard`` adjacency used to update the ``blocked`` mask --
+        no dense row ever materialises.
+        """
+        node_count = positions.shape[0]
+        pair_i, pair_j, pair_d = index.pairs_within(guard)
+        strict = pair_d < guard
+        indptr, indices = adjacency_lists(
+            node_count, pair_i[strict], pair_j[strict]
+        )
+        if candidates is None:
+            keep = pair_d <= self._range
+            ordered = sorted(
+                zip(
+                    pair_d[keep].tolist(),
+                    pair_i[keep].tolist(),
+                    pair_j[keep].tolist(),
+                )
+            )
+        else:
+            listed = [(int(a), int(b)) for a, b in candidates]
+            if listed:
+                d = pair_distances(
+                    positions,
+                    np.array([a for a, _ in listed], dtype=np.int64),
+                    np.array([b for _, b in listed], dtype=np.int64),
+                )
+                ordered = sorted(
+                    (float(dist), a, b)
+                    for (a, b), dist in zip(listed, d)
+                    if dist <= self._range
+                )
+            else:
+                ordered = []
+        chosen: List[Link] = []
+        used = np.zeros(node_count, dtype=bool)
+        blocked = np.zeros(node_count, dtype=bool)
+        for _, a, b in ordered:
+            if used[a] or used[b] or blocked[a] or blocked[b]:
+                continue
+            chosen.append((a, b))
+            used[a] = used[b] = True
+            blocked[indices[indptr[a] : indptr[a + 1]]] = True
+            blocked[indices[indptr[b] : indptr[b + 1]]] = True
+        return chosen
 
     @staticmethod
     def _select_reference(
@@ -320,7 +417,10 @@ class TDMACellScheduler(Scheduler):
         return self._range
 
     def schedule(
-        self, positions: np.ndarray, distances: Optional[np.ndarray] = None
+        self,
+        positions: np.ndarray,
+        distances: Optional[np.ndarray] = None,
+        index: Optional[CellGridIndex] = None,
     ) -> Schedule:
         active_color = self._slot % self._group_count
         self._slot += 1

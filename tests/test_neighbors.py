@@ -1,0 +1,248 @@
+"""Tests for the torus cell-grid neighbor index (``geometry/neighbors``).
+
+The index replaces dense ``O(n^2)`` distance matrices on the per-slot
+scheduling hot path, and every consumer relies on its bit-identity
+contract: ``pairs_within`` / ``neighbors_of`` must return exactly the
+pairs a dense :func:`~repro.geometry.torus.pairwise_distances` threshold
+would, with the same float distances, in the same (lexicographic) order.
+Hypothesis drives randomized point sets including wrap-around clusters
+straddling the torus seam and radii past the ``> 1/3`` dense-fallback
+threshold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.neighbors import (
+    _SMALL_N,
+    CellGridIndex,
+    adjacency_lists,
+    iter_distance_chunks,
+    masked_nearest,
+    pair_distances,
+)
+from repro.geometry.torus import pairwise_distances
+
+coordinate = st.floats(
+    min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False
+)
+point = st.tuples(coordinate, coordinate)
+#: Point sets large enough to exercise the grid path (> _SMALL_N) are mixed
+#: with small sets that take the dense fallback.
+points = st.lists(point, min_size=1, max_size=90).map(
+    lambda rows: np.array(rows, dtype=float)
+)
+#: Radii spanning the grid regime, the sqrt(n) resolution cap, and the
+#: dense fallback past 1/3 (fewer than three cells per side).
+radius = st.floats(min_value=1e-3, max_value=0.8, allow_nan=False)
+
+#: Seam offsets in [-0.03, 0.03) around a torus edge: clusters whose
+#: members straddle the wrap-around discontinuity.
+seam_offset = st.floats(min_value=-0.03, max_value=0.03, allow_nan=False)
+seam_points = st.lists(
+    st.tuples(seam_offset, coordinate), min_size=2, max_size=80
+).map(lambda rows: np.mod(np.array(rows, dtype=float), 1.0))
+
+
+def _dense_pairs(pts, r):
+    distances = pairwise_distances(pts)
+    i, j = np.nonzero(np.triu(distances <= r, k=1))
+    return i, j, distances[i, j]
+
+
+def _assert_pairs_match(pts, r):
+    i, j, d = CellGridIndex(pts).pairs_within(r)
+    ei, ej, ed = _dense_pairs(pts, r)
+    np.testing.assert_array_equal(i, ei)
+    np.testing.assert_array_equal(j, ej)
+    np.testing.assert_array_equal(d, ed)  # bit-identical floats
+
+
+class TestPairsWithinMatchesDense:
+    @settings(max_examples=150, deadline=None)
+    @given(pts=points, r=radius)
+    def test_random_points(self, pts, r):
+        _assert_pairs_match(pts, r)
+
+    @settings(max_examples=100, deadline=None)
+    @given(pts=seam_points, r=radius)
+    def test_wraparound_cluster_straddling_seam(self, pts, r):
+        """Dense clusters split across x ~ 0 / x ~ 1 must pair up through
+        the wrap-around stencil exactly as through ``np.round`` wrapping."""
+        _assert_pairs_match(pts, r)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pts=points, r=st.floats(min_value=0.34, max_value=1.5))
+    def test_radius_beyond_third_uses_dense_fallback(self, pts, r):
+        """Past cell side 1/3 the stencil would self-overlap; the index
+        falls back to the dense matrix with identical results."""
+        assert CellGridIndex(pts).resolution(r) < 3 or pts.shape[0] <= _SMALL_N
+        _assert_pairs_match(pts, r)
+
+    def test_grid_path_on_large_uniform_set(self):
+        rng = np.random.default_rng(7)
+        pts = rng.random((600, 2))
+        for r in (0.01, 0.04, 0.11, 0.25):
+            _assert_pairs_match(pts, r)
+
+    def test_colocated_points(self):
+        pts = np.full((40, 2), 0.5)
+        i, j, d = CellGridIndex(pts).pairs_within(0.05)
+        assert i.size == 40 * 39 // 2
+        np.testing.assert_array_equal(d, 0.0)
+
+    def test_single_point_and_empty(self):
+        i, j, d = CellGridIndex(np.array([[0.2, 0.8]])).pairs_within(0.3)
+        assert i.size == j.size == d.size == 0
+
+    def test_out_of_domain_coordinates_keep_raw_distances(self):
+        """Unwrapped inputs: cells come from wrapped copies but distances
+        are evaluated on the raw coordinates, exactly like the dense
+        kernel."""
+        rng = np.random.default_rng(3)
+        pts = rng.random((120, 2)) * 4.0 - 2.0
+        _assert_pairs_match(pts, 0.08)
+
+
+class TestNeighborsOfMatchesDense:
+    @settings(max_examples=100, deadline=None)
+    @given(pts=points, queries=points, r=radius)
+    def test_cross_set(self, pts, queries, r):
+        qi, pj, d = CellGridIndex(pts).neighbors_of(queries, r)
+        dense = pairwise_distances(queries, pts)
+        ei, ej = np.nonzero(dense <= r)
+        np.testing.assert_array_equal(qi, ei)
+        np.testing.assert_array_equal(pj, ej)
+        np.testing.assert_array_equal(d, dense[ei, ej])
+
+    def test_ms_bs_association_shape(self):
+        """The MS -> BS pattern: many queries against few indexed points."""
+        rng = np.random.default_rng(11)
+        ms, bs = rng.random((500, 2)), rng.random((9, 2))
+        qi, pj, d = CellGridIndex(bs).neighbors_of(ms, 0.2)
+        dense = pairwise_distances(ms, bs)
+        ei, ej = np.nonzero(dense <= 0.2)
+        np.testing.assert_array_equal(qi, ei)
+        np.testing.assert_array_equal(pj, ej)
+        np.testing.assert_array_equal(d, dense[ei, ej])
+
+    def test_empty_sides(self):
+        index = CellGridIndex(np.empty((0, 2)))
+        qi, pj, d = index.neighbors_of(np.array([[0.5, 0.5]]), 0.1)
+        assert qi.size == pj.size == d.size == 0
+        index = CellGridIndex(np.array([[0.5, 0.5]]))
+        qi, pj, d = index.neighbors_of(np.empty((0, 2)), 0.1)
+        assert qi.size == pj.size == d.size == 0
+
+
+class TestIndexMechanics:
+    def test_resolution_cell_side_at_least_radius(self):
+        index = CellGridIndex(np.random.default_rng(0).random((1000, 2)))
+        for r in (1e-6, 1e-3, 0.01, 0.0625, 0.1, 1 / 3, 0.5, 2.0):
+            m = index.resolution(r)
+            assert m >= 1
+            # cell side 1/m >= radius unless the sqrt(n) cap bound it (or
+            # the radius exceeds the whole torus, where m bottoms out at 1)
+            cap = int(np.sqrt(1000)) + 1
+            assert m * r <= 1.0 or m == cap or m == 1
+
+    def test_resolution_capped_near_sqrt_n(self):
+        index = CellGridIndex(np.random.default_rng(1).random((100, 2)))
+        assert index.resolution(1e-9) <= 11
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            CellGridIndex(np.zeros((3, 3)))
+        index = CellGridIndex(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            index.pairs_within(0.0)
+        with pytest.raises(ValueError):
+            index.resolution(-1.0)
+
+    def test_grid_cached_per_resolution(self):
+        index = CellGridIndex(np.random.default_rng(2).random((200, 2)))
+        index.pairs_within(0.05)
+        index.neighbors_of(np.array([[0.1, 0.1]]), 0.05)
+        assert len(index._grids) == 1  # same m reused across query kinds
+
+    def test_pair_distances_bit_identical_to_dense(self):
+        rng = np.random.default_rng(5)
+        pts = rng.random((50, 2))
+        i = rng.integers(0, 50, 200)
+        j = rng.integers(0, 50, 200)
+        dense = pairwise_distances(pts)
+        np.testing.assert_array_equal(pair_distances(pts, i, j), dense[i, j])
+
+
+class TestSharedChunkHelpers:
+    def test_iter_distance_chunks_covers_matrix(self):
+        rng = np.random.default_rng(8)
+        pts, others = rng.random((101, 2)), rng.random((13, 2))
+        blocks = list(iter_distance_chunks(pts, others, chunk_size=17))
+        assert [b[1].shape[0] for b in blocks] == [17] * 5 + [16]
+        np.testing.assert_array_equal(
+            np.vstack([b for _, b in blocks]), pairwise_distances(pts, others)
+        )
+
+    def test_iter_distance_chunks_validates_chunk_size(self):
+        with pytest.raises(ValueError):
+            next(iter_distance_chunks(np.zeros((2, 2)), chunk_size=0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(pts=points, others=points, data=st.data())
+    def test_masked_nearest_matches_bruteforce(self, pts, others, data):
+        labels_p = np.asarray(
+            data.draw(
+                st.lists(
+                    st.integers(0, 3),
+                    min_size=pts.shape[0],
+                    max_size=pts.shape[0],
+                )
+            )
+        )
+        labels_o = np.asarray(
+            data.draw(
+                st.lists(
+                    st.integers(0, 3),
+                    min_size=others.shape[0],
+                    max_size=others.shape[0],
+                )
+            )
+        )
+        nearest, distance = masked_nearest(
+            pts, others, labels_p, labels_o, chunk_size=7
+        )
+        dense = pairwise_distances(pts, others)
+        masked = np.where(labels_p[:, None] == labels_o[None, :], dense, np.inf)
+        best = masked.argmin(axis=1)
+        best_distance = masked[np.arange(pts.shape[0]), best]
+        found = np.isfinite(best_distance)
+        np.testing.assert_array_equal(nearest, np.where(found, best, -1))
+        np.testing.assert_array_equal(distance[found], best_distance[found])
+        assert np.all(np.isinf(distance[~found]))
+
+    def test_masked_nearest_unlabeled(self):
+        rng = np.random.default_rng(9)
+        pts, others = rng.random((30, 2)), rng.random((5, 2))
+        nearest, distance = masked_nearest(pts, others)
+        dense = pairwise_distances(pts, others)
+        np.testing.assert_array_equal(nearest, dense.argmin(axis=1))
+        np.testing.assert_array_equal(
+            distance, dense[np.arange(30), dense.argmin(axis=1)]
+        )
+
+    def test_masked_nearest_rejects_one_sided_labels(self):
+        with pytest.raises(ValueError):
+            masked_nearest(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros(2), None)
+
+    def test_adjacency_lists_symmetric(self):
+        indptr, indices = adjacency_lists(
+            5, np.array([0, 0, 2]), np.array([1, 3, 4])
+        )
+        neighbors = {
+            node: sorted(indices[indptr[node] : indptr[node + 1]].tolist())
+            for node in range(5)
+        }
+        assert neighbors == {0: [1, 3], 1: [0], 2: [4], 3: [0], 4: [2]}

@@ -1,11 +1,14 @@
-"""Vectorized vs reference scheduler equivalence.
+"""Sparse vs dense vs reference scheduler equivalence.
 
-The vectorized ``S*`` / ``S-bar`` guard-zone evaluation and the greedy
-matching ``blocked``-mask optimisation must reproduce the loop reference
-implementations *exactly* -- same ``Schedule.pairs``, same order -- on
-randomized position sets and on the degenerate geometries the sweeps can
-produce (single node, co-located nodes, range exceeding the torus
-diameter).
+Every scheduler has three evaluation paths -- the sparse cell-grid default
+(``schedule(positions)``), the dense-matrix path (``distances=`` injection)
+and the loop reference (``reference=True``) -- and all of them must produce
+*exactly* the same ``Schedule.pairs`` in the same order, on randomized
+position sets and on the degenerate geometries the sweeps can produce
+(single node, co-located nodes, range exceeding the torus diameter).  The
+bit-identity matters beyond aesthetics: the persistent experiment store
+keys cached trials by result digests, which must not shift with the
+evaluation path.
 """
 
 import math
@@ -13,6 +16,8 @@ import math
 import numpy as np
 import pytest
 
+from repro.geometry.neighbors import CellGridIndex
+from repro.geometry.torus import pairwise_distances
 from repro.wireless.protocol_model import ProtocolModel
 from repro.wireless.scheduler import (
     GreedyMatchingScheduler,
@@ -148,6 +153,107 @@ class TestGreedyMatchingEquivalence:
         fast = GreedyMatchingScheduler(0.5)
         slow = GreedyMatchingScheduler(0.5, reference=True)
         assert fast.schedule(positions).pairs == slow.schedule(positions).pairs == ()
+
+
+class TestSparseDensePathEquivalence:
+    """The cell-grid default must match the dense ``distances=`` path
+    bit-for-bit: same pairs, same order, at every n the sweeps use."""
+
+    @pytest.mark.parametrize("seed_block", range(5))
+    def test_sstar_sparse_vs_dense(self, seed_block):
+        for seed in range(seed_block * 20, (seed_block + 1) * 20):
+            positions, _range, delta = _random_case(seed + 40_000)
+            n = max(2, positions.shape[0])
+            policy = PolicySStar(n, c_t=1.0, delta=delta)
+            dense = policy.schedule(
+                positions, distances=pairwise_distances(positions)
+            )
+            assert policy.schedule(positions).pairs == dense.pairs, f"seed {seed}"
+
+    @pytest.mark.parametrize("seed_block", range(5))
+    def test_greedy_sparse_vs_dense(self, seed_block):
+        for seed in range(seed_block * 20, (seed_block + 1) * 20):
+            positions, transmission_range, delta = _random_case(seed + 50_000)
+            scheduler = GreedyMatchingScheduler(transmission_range, delta=delta)
+            dense = scheduler.schedule(
+                positions, distances=pairwise_distances(positions)
+            )
+            assert scheduler.schedule(positions).pairs == dense.pairs, (
+                f"seed {seed}"
+            )
+
+    @pytest.mark.parametrize("n", [50, 200, 800])
+    def test_sstar_three_way_at_scaling_sizes(self, n):
+        """sparse == dense == reference at sizes spanning the sweep grid
+        (reference capped at n=200 -- it is O(n^2 pairs))."""
+        rng = np.random.default_rng(n)
+        positions = rng.random((n, 2))
+        policy = PolicySStar(n, c_t=1.5, delta=1.0)
+        sparse = policy.schedule(positions).pairs
+        dense = policy.schedule(
+            positions, distances=pairwise_distances(positions)
+        ).pairs
+        assert sparse == dense
+        if n <= 200:
+            slow = PolicySStar(n, c_t=1.5, delta=1.0, reference=True)
+            assert sparse == slow.schedule(positions).pairs
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_greedy_candidate_restriction_sparse_vs_dense(self, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.random((60, 2))
+        candidates = [
+            (int(a), int(b))
+            for a, b in rng.integers(0, 60, size=(40, 2))
+            if a != b
+        ]
+        scheduler = GreedyMatchingScheduler(0.3, delta=0.8)
+        dense = scheduler.schedule(
+            positions,
+            distances=pairwise_distances(positions),
+            candidates=candidates,
+        )
+        sparse = scheduler.schedule(positions, candidates=candidates)
+        assert sparse.pairs == dense.pairs
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_prebuilt_index_matches_internal(self, seed):
+        """Passing the per-slot index (as the simulator does) changes
+        nothing versus letting the scheduler build its own."""
+        rng = np.random.default_rng(seed)
+        positions = rng.random((120, 2))
+        index = CellGridIndex(positions)
+        policy = PolicySStar(120, c_t=1.2, delta=1.0)
+        greedy = GreedyMatchingScheduler(1.2 / math.sqrt(120), delta=1.0)
+        assert (
+            policy.schedule(positions, index=index).pairs
+            == policy.schedule(positions).pairs
+        )
+        assert (
+            greedy.schedule(positions, index=index).pairs
+            == greedy.schedule(positions).pairs
+        )
+
+    def test_greedy_tie_break_is_deterministic(self):
+        """Equidistant candidates resolve by ``(dist, a, b)`` regardless of
+        enumeration order (dense row-major vs sparse stencil)."""
+        # four nodes on a 0.1-spaced line: links (0,1), (1,2), (2,3) all tie
+        positions = np.array([[0.1, 0.5], [0.2, 0.5], [0.3, 0.5], [0.4, 0.5]])
+        scheduler = GreedyMatchingScheduler(0.11, delta=0.5)
+        sparse = scheduler.schedule(positions)
+        dense = scheduler.schedule(
+            positions, distances=pairwise_distances(positions)
+        )
+        assert sparse.pairs == dense.pairs
+        shuffled = [(2, 3), (1, 2), (0, 1)]
+        assert (
+            scheduler.schedule(positions, candidates=shuffled).pairs
+            == scheduler.schedule(
+                positions,
+                distances=pairwise_distances(positions),
+                candidates=shuffled,
+            ).pairs
+        )
 
 
 class TestVectorizedStillFeasible:
