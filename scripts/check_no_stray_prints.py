@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Lint: forbid ``print`` calls in ``src/repro`` outside the CLI module.
+
+The package contract (see ``repro.observability.log``) is that ``print`` is
+reserved for CLI *result* output in ``repro/__main__.py``; every diagnostic
+goes through the structured logger so library users and parallel workers
+never get stray stdout.  This walks the AST (docstring examples and
+comments are invisible to it) and reports each offending call site.
+
+Usage: ``python scripts/check_no_stray_prints.py [SRC_DIR]``
+Exit status 0 when clean, 1 with a ``file:line`` listing otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+#: Files allowed to print: the CLI result surface.
+ALLOWED = {"__main__.py"}
+
+
+def stray_prints(path: pathlib.Path):
+    """Yield ``(lineno, source_line)`` for each print call in ``path``."""
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            text = lines[node.lineno - 1].strip() if node.lineno <= len(lines) else ""
+            yield node.lineno, text
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(argv[0]) if argv else pathlib.Path("src/repro")
+    if not root.is_dir():
+        print(f"no such directory: {root}", file=sys.stderr)
+        return 2
+    offenders = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name in ALLOWED:
+            continue
+        for lineno, text in stray_prints(path):
+            offenders.append(f"{path}:{lineno}: {text}")
+    if offenders:
+        print(
+            "stray print() calls (use repro.observability.log.get_logger; "
+            "print is reserved for CLI result output in __main__.py):",
+            file=sys.stderr,
+        )
+        for offender in offenders:
+            print(f"  {offender}", file=sys.stderr)
+        return 1
+    print(f"OK: no stray print() calls under {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

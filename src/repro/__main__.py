@@ -20,11 +20,21 @@ same command -- including after an interruption -- replays the journaled
 trials and only executes the missing ones, with the final digest
 bit-identical to an uninterrupted cold run.  ``--no-cache`` forces
 recomputation while still refreshing the journal.
+
+Observability (see ``repro.observability``): the global ``--log-level`` /
+``--log-json`` flags configure the package-wide structured logger on
+stderr; ``sweep`` and ``reproduce`` additionally accept ``--trace [DIR]``
+(write a JSONL telemetry trace of every trial next to the store's run
+manifests) and ``--progress`` / ``--no-progress`` (live trials/s + ETA +
+cache-hit rendering on stderr; the default shows progress only on a TTY).
+``print`` in this package is reserved for the CLI *result* output below --
+diagnostics go through the logger.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 import numpy as np
@@ -33,9 +43,19 @@ from .core.capacity import analyze
 from .core.phase_diagram import compute_phase_diagram
 from .core.regimes import InvalidParameters, NetworkParameters
 from .experiments.table1 import closed_form_table
+from .observability import (
+    CompositeTelemetry,
+    ProgressRenderer,
+    configure as configure_logging,
+    get_logger,
+    open_trace,
+    using_telemetry,
+)
 from .simulation.network import HybridNetwork
 
 __all__ = ["main"]
+
+_log = get_logger(__name__)
 
 
 def _add_family_arguments(parser: argparse.ArgumentParser) -> None:
@@ -138,6 +158,46 @@ def _store(args):
     from .store import RunStore
 
     return RunStore(args.store, use_cache=not args.no_cache)
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="DIR",
+        help="write a JSONL telemetry trace (one event per line: trial "
+        "lifecycle, progress, store appends, span timings) into DIR; "
+        "with no DIR the trace lands next to the --store run manifests "
+        "(or in ./results)",
+    )
+    parser.add_argument(
+        "--progress", action=argparse.BooleanOptionalAction, default=None,
+        help="render live progress (trials/s, ETA, cache hits) on stderr "
+        "(default: only when stderr is a TTY)",
+    )
+
+
+def _telemetry(args):
+    """CLI --trace/--progress values -> (sink or None, trace path or None).
+
+    The composite sink is installed process-wide around the command, so
+    every instrumented layer (runner, engine, store) reports through it
+    without explicit threading.
+    """
+    sinks = []
+    trace_path = None
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        directory = trace if trace else (getattr(args, "store", None) or "results")
+        trace_sink = open_trace(directory)
+        trace_path = trace_sink.path
+        sinks.append(trace_sink)
+    progress = getattr(args, "progress", None)
+    if progress is None:
+        progress = sys.stderr.isatty()
+    if progress:
+        sinks.append(ProgressRenderer())
+    if not sinks:
+        return None, None
+    return CompositeTelemetry(sinks), trace_path
 
 
 def _cmd_sweep(args) -> int:
@@ -313,6 +373,15 @@ def main(argv=None) -> int:
         description="Capacity scaling in hybrid mobile ad hoc networks "
         "(Huang, Wang & Zhang, ICDCS 2010)",
     )
+    parser.add_argument(
+        "--log-level", default="WARNING", metavar="LEVEL",
+        help="logging threshold for the repro loggers on stderr "
+        "(DEBUG/INFO/WARNING/ERROR; default WARNING)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines instead of text",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     cmd = commands.add_parser("analyze", help="closed-form capacity of a family")
@@ -349,6 +418,7 @@ def main(argv=None) -> int:
         "results are identical at any worker count)",
     )
     _add_store_arguments(cmd)
+    _add_telemetry_arguments(cmd)
     cmd.set_defaults(func=_cmd_sweep)
 
     cmd = commands.add_parser(
@@ -368,6 +438,7 @@ def main(argv=None) -> int:
         help="fan Monte-Carlo trials out over N processes (0 = all cores)",
     )
     _add_store_arguments(cmd)
+    _add_telemetry_arguments(cmd)
     cmd.set_defaults(func=_cmd_reproduce)
 
     cmd = commands.add_parser(
@@ -389,7 +460,26 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        configure_logging(args.log_level, json=args.log_json)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        telemetry, trace_path = _telemetry(args)
+        context = (
+            using_telemetry(telemetry)
+            if telemetry is not None
+            else contextlib.nullcontext()
+        )
+        with context:
+            try:
+                return args.func(args)
+            finally:
+                if telemetry is not None:
+                    telemetry.close()
+                if trace_path is not None:
+                    _log.info("telemetry trace written to %s", trace_path)
+                    print(f"trace: {trace_path}", file=sys.stderr)
     except InvalidParameters as error:
         print(f"invalid parameters: {error}", file=sys.stderr)
         return 2

@@ -16,6 +16,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.regimes import NetworkParameters
+from ..observability.log import get_logger
+from ..observability.timing import span
 from ..parallel import TrialRunner
 from ..store import content_digest, open_store
 from ..utils.fitting import fit_power_law
@@ -27,6 +29,8 @@ from .scaling import (
 )
 
 __all__ = ["ConvergenceStudy", "windowed_slopes"]
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -97,8 +101,13 @@ def windowed_slopes(
         parameters, n_values, scheme, trials, build_kwargs, generic, seed=seed
     )
     keys = _sweep_trial_keys(payloads) if store is not None else None
+    _log.info(
+        "windowed_slopes: scheme=%s grid=%s window=%d trials=%d workers=%s",
+        scheme, [int(n) for n in n_values], window, trials, workers,
+    )
     runner = TrialRunner(_sweep_trial, workers=workers)
-    samples = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+    with span("convergence.windowed_slopes", logger=_log):
+        samples = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
     rates = np.median(
         np.asarray(samples, dtype=float).reshape(n_values.shape[0], trials), axis=1
     )

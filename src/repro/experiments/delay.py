@@ -24,6 +24,8 @@ import numpy as np
 
 from ..core.regimes import NetworkParameters
 from ..mobility.processes import IIDAroundHome
+from ..observability.log import get_logger
+from ..observability.timing import span
 from ..parallel import TrialRunner
 from ..simulation.engine import SlottedSimulator
 from ..simulation.network import HybridNetwork
@@ -32,6 +34,8 @@ from ..simulation.traffic import permutation_traffic
 from ..store import TrialSeed, open_store, trial_key
 
 __all__ = ["DelayComparison", "compare_delays"]
+
+_log = get_logger(__name__)
 
 #: The three forwarding disciplines, in report order.
 DELAY_SCHEMES = ("scheme-A", "two-hop", "scheme-B")
@@ -161,8 +165,13 @@ def compare_delays(
             )
             for label in DELAY_SCHEMES
         ]
+    _log.info(
+        "delay: comparing %s at n=%d over %d slot(s) (workers=%s)",
+        list(DELAY_SCHEMES), n, slots, workers,
+    )
     runner = TrialRunner(_delay_trial, workers=workers)
-    outcomes = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+    with span("delay.compare_delays", logger=_log):
+        outcomes = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
     if store is not None:
         store.record_run(
             command="delay",

@@ -20,8 +20,12 @@ from ..core.density import DensityField, density_field
 from ..core.regimes import NetworkParameters
 from ..mobility.clustered import place_home_points
 from ..mobility.shapes import UniformDiskShape
+from ..observability.log import get_logger
+from ..observability.timing import span
 from ..parallel import TrialRunner
 from ..store import TrialSeed, open_store, trial_key
+
+_log = get_logger(__name__)
 
 __all__ = [
     "Figure1Panel",
@@ -134,8 +138,12 @@ def make_panels(
             )
             for p_params, p_n, p_label, p_grid, p_seed in payloads
         ]
+    _log.info(
+        "figure1: %d panel(s) at n=%d (workers=%s)", len(payloads), n, workers
+    )
     runner = TrialRunner(_panel_trial, workers=workers)
-    panels = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+    with span("figure1.make_panels", logger=_log):
+        panels = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
     if store is not None:
         store.record_run(
             command="figure1",

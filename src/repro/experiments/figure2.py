@@ -17,12 +17,16 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.regimes import NetworkParameters
+from ..observability.log import get_logger
+from ..observability.timing import span
 from ..parallel import TrialRunner
 from ..simulation.network import HybridNetwork
 from ..simulation.traffic import permutation_traffic
 from ..store import TrialSeed, open_store, trial_key
 
 __all__ = ["SchemeBTrace", "trace_scheme_b", "trace_scheme_b_sessions"]
+
+_log = get_logger(__name__)
 
 #: A strong-mobility, infrastructure-dominant family where scheme B carries
 #: the traffic (matches the spirit of the paper's illustration).
@@ -132,8 +136,13 @@ def trace_scheme_b_sessions(
             )
             for session_index in session_indices
         ]
+    _log.info(
+        "figure2: tracing %d session(s) at n=%d seed=%d (workers=%s)",
+        len(payloads), n, seed, workers,
+    )
     runner = TrialRunner(_trace_trial, workers=workers)
-    traces = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+    with span("figure2.trace_sessions", logger=_log):
+        traces = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
     if store is not None:
         store.record_run(
             command="figure2",

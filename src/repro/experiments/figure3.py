@@ -22,11 +22,15 @@ import numpy as np
 
 from ..core.phase_diagram import PhaseDiagram, compute_phase_diagram, dominance
 from ..core.regimes import NetworkParameters
+from ..observability.log import get_logger
+from ..observability.timing import span
 from ..parallel import TrialRunner
 from ..simulation.network import HybridNetwork
 from ..store import TrialSeed, open_store, trial_key
 
 __all__ = ["Figure3", "compute_figure3", "simulated_spot_checks", "SpotCheck"]
+
+_log = get_logger(__name__)
 
 #: Panel parameters: access-limited (left) and backbone-limited (right).
 LEFT_PHI = Fraction(0)
@@ -156,8 +160,13 @@ def simulated_spot_checks(
             )
             for alpha, big_k, phi, n, point_seed in payloads
         ]
+    _log.info(
+        "figure3: %d spot check(s) at n=%d (workers=%s)",
+        len(payloads), n, workers,
+    )
     runner = TrialRunner(_spot_check_trial, workers=workers)
-    checks = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+    with span("figure3.spot_checks", logger=_log):
+        checks = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
     if store is not None:
         store.record_run(
             command="figure3-spot-checks",

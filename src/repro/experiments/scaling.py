@@ -21,11 +21,15 @@ from ..core.capacity import (
 )
 from ..core.order import Order
 from ..core.regimes import MobilityRegime, NetworkParameters
+from ..observability.log import get_logger
+from ..observability.timing import span
 from ..parallel import TrialFailed, TrialRunner, TrialStats
 from ..routing.base import FlowResult
 from ..simulation.network import HybridNetwork
 from ..store import TrialSeed, content_digest, open_store, trial_key
 from ..utils.fitting import PowerLawFit, fit_power_law
+
+_log = get_logger(__name__)
 
 __all__ = [
     "SweepResult",
@@ -273,8 +277,15 @@ def sweep_capacity(
         parameters, n_values, scheme, trials, build_kwargs, generic, seed=seed
     )
     keys = _sweep_trial_keys(payloads) if store is not None else None
+    _log.info(
+        "sweep_capacity: scheme=%s grid=%s trials=%d seed=%d workers=%s "
+        "store=%s",
+        scheme, [int(n) for n in n_values], trials, seed, workers,
+        getattr(store, "root", None),
+    )
     runner = TrialRunner(_sweep_trial, workers=workers)
-    results = runner.run(payloads, seed=seed, cache=store, keys=keys)
+    with span("sweep_capacity", logger=_log):
+        results = runner.run(payloads, seed=seed, cache=store, keys=keys)
     for trial_result in results:
         if not trial_result.ok:
             raise TrialFailed(trial_result.error)

@@ -27,10 +27,13 @@ from ..core.capacity import (
     per_node_capacity,
 )
 from ..core.regimes import NetworkParameters
+from ..observability.log import get_logger
 from ..utils.tables import render_table
 from .scaling import SweepResult, sweep_capacity
 
 __all__ = ["TableRow", "TABLE1_ROWS", "closed_form_table", "measure_row"]
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -147,6 +150,7 @@ def measure_row(
     resumable: journaled trials are replayed, fresh ones are journaled, and
     a provenance manifest is recorded (see :mod:`repro.store`).
     """
+    _log.info("table1: measuring row %r (scheme %s)", row.label, row.sweep_scheme)
     return sweep_capacity(
         row.parameters,
         n_values,

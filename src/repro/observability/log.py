@@ -1,0 +1,94 @@
+"""Package-wide structured logging.
+
+All of ``src/repro`` logs through child loggers of the single ``repro``
+root logger (``get_logger(__name__)`` at module scope).  Nothing is emitted
+until :func:`configure` installs a handler -- libraries embedding the
+package stay silent by default (a ``NullHandler`` sits on the root), while
+the CLI wires ``--log-level``/``--log-json`` to :func:`configure`.
+
+``print`` is reserved for CLI *result* output in ``repro/__main__.py``;
+diagnostics, warnings and progress notes go through these loggers (the
+``scripts/check_no_stray_prints.py`` lint enforces this).
+"""
+
+from __future__ import annotations
+
+import json as _json
+import logging
+import sys
+from typing import IO, Optional, Union
+
+__all__ = ["ROOT_LOGGER_NAME", "JsonLogFormatter", "configure", "get_logger"]
+
+#: Name of the package root logger every module logger descends from.
+ROOT_LOGGER_NAME = "repro"
+
+#: Human format used by :func:`configure` when ``json`` is off.
+TEXT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+# Silence "no handler" warnings for library users who never configure().
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` root logger, or a child logger for ``name``.
+
+    Module loggers pass ``__name__`` (already ``repro.``-prefixed inside
+    the package); any other name is attached under the root so one
+    :func:`configure` call governs everything.
+    """
+    if name is None or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record: machine-greppable structured lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return _json.dumps(payload, separators=(",", ":"), default=str)
+
+
+def _coerce_level(level: Union[int, str]) -> int:
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def configure(
+    level: Union[int, str] = "WARNING",
+    json: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install one stderr handler on the ``repro`` root logger.
+
+    Idempotent: a handler installed by a previous :func:`configure` call is
+    replaced, not stacked, so repeated CLI invocations in one process (the
+    test suite) never double-log.  Returns the configured root logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_configured", False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonLogFormatter() if json else logging.Formatter(TEXT_FORMAT)
+    )
+    handler._repro_configured = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(_coerce_level(level))
+    return root

@@ -1,0 +1,170 @@
+"""Human progress rendering for long sweeps: trials/s, ETA, cache hits.
+
+The renderer is a :class:`~repro.observability.events.Telemetry` sink: it
+consumes the runner's trial lifecycle events, keeps throughput counters and
+periodically writes a one-line digest to stderr --
+
+``  7/48  15%  3.2 trials/s  eta 0:00:13  cached 3 (43%)  failed 0``
+
+On a TTY the line redraws in place (``\\r``); on a plain stream (CI logs,
+``2> file``) it prints full lines throttled to one per
+``min_interval`` seconds.  All the arithmetic lives in small pure
+properties so the math is unit-testable with an injected clock.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from typing import IO, Callable, Optional
+
+from .events import (
+    SweepProgress,
+    Telemetry,
+    TelemetryEvent,
+    TrialCached,
+    TrialFailedEvent,
+    TrialFinished,
+)
+
+__all__ = ["ProgressRenderer", "format_eta"]
+
+
+def format_eta(seconds: float) -> str:
+    """``H:MM:SS`` rendering of an ETA; ``--:--`` when unknown."""
+    if not math.isfinite(seconds) or seconds < 0:
+        return "--:--"
+    whole = int(round(seconds))
+    hours, rest = divmod(whole, 3600)
+    minutes, secs = divmod(rest, 60)
+    return f"{hours}:{minutes:02d}:{secs:02d}"
+
+
+class ProgressRenderer(Telemetry):
+    """Render live sweep progress from trial events.
+
+    Parameters
+    ----------
+    stream:
+        Output stream (default ``sys.stderr``).
+    min_interval:
+        Minimum seconds between renders on non-TTY streams (TTY redraws
+        are throttled the same way; the final render always happens).
+    clock:
+        Monotonic time source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        min_interval: float = 0.2,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self._stream = stream
+        self._min_interval = min_interval
+        self._clock = clock
+        self.total = 0
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self._start: Optional[float] = None
+        self._last_render = -math.inf
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # counters and math (pure, unit-tested)
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_seconds(self) -> float:
+        """Seconds since the first event (0 before any event)."""
+        if self._start is None:
+            return 0.0
+        return self._clock() - self._start
+
+    @property
+    def trials_per_second(self) -> float:
+        """Completed trials (cached included) per elapsed second."""
+        elapsed = self.elapsed_seconds
+        if elapsed <= 0 or self.done == 0:
+            return float("nan")
+        return self.done / elapsed
+
+    @property
+    def eta_seconds(self) -> float:
+        """Projected seconds to finish the remaining trials (nan early)."""
+        rate = self.trials_per_second
+        if not math.isfinite(rate) or rate <= 0 or self.total <= 0:
+            return float("nan")
+        return max(self.total - self.done, 0) / rate
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of completed trials served from the cache (nan at 0)."""
+        if self.done == 0:
+            return float("nan")
+        return self.cached / self.done
+
+    def render_line(self) -> str:
+        """The one-line digest for the current counters."""
+        total = self.total if self.total else "?"
+        percent = (
+            f"{100.0 * self.done / self.total:3.0f}%" if self.total else "  ?%"
+        )
+        rate = self.trials_per_second
+        rate_text = f"{rate:.1f}" if math.isfinite(rate) else "-.-"
+        hit = self.cache_hit_rate
+        hit_text = f" ({hit:.0%})" if math.isfinite(hit) and self.cached else ""
+        return (
+            f"{self.done:4d}/{total}  {percent}  {rate_text} trials/s  "
+            f"eta {format_eta(self.eta_seconds)}  "
+            f"cached {self.cached}{hit_text}  failed {self.failed}"
+        )
+
+    # ------------------------------------------------------------------
+    # sink protocol
+    # ------------------------------------------------------------------
+    def emit(self, event: TelemetryEvent) -> None:
+        if self._start is None:
+            self._start = self._clock()
+        if isinstance(event, (TrialFinished, TrialCached, TrialFailedEvent)):
+            self.done += 1
+            if isinstance(event, TrialCached):
+                self.cached += 1
+            elif isinstance(event, TrialFailedEvent):
+                self.failed += 1
+            self._dirty = True
+        elif isinstance(event, SweepProgress):
+            # authoritative counters from the runner override local counts
+            # (emitted right after the per-trial event, so no double count)
+            self.total = event.total
+            self.done = event.done
+            self.cached = event.cached
+            self.failed = event.failed
+            self._dirty = True
+        if self._dirty:
+            self._maybe_render()
+
+    def _maybe_render(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and now - self._last_render < self._min_interval:
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        line = self.render_line()
+        if stream.isatty():
+            stream.write("\r\x1b[2K" + line)
+        else:
+            stream.write(line + "\n")
+        stream.flush()
+        self._last_render = now
+        self._dirty = False
+
+    def close(self) -> None:
+        """Final render (always) plus a newline to release a TTY line."""
+        if self._start is None:
+            return
+        self._maybe_render(force=True)
+        stream = self._stream if self._stream is not None else sys.stderr
+        if stream.isatty():
+            stream.write("\n")
+            stream.flush()

@@ -1,0 +1,49 @@
+"""Timing spans: one context manager for phase-level profiling.
+
+``with span("sweep_capacity"):`` times the enclosed phase, logs the
+duration at DEBUG on the caller's logger and emits a
+:class:`~repro.observability.events.SpanFinished` event to the current
+telemetry sink -- so every future perf PR reads its numbers from the trace
+file instead of ad-hoc benchmark prints.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+from .events import SpanFinished, Telemetry, get_telemetry
+from .log import get_logger
+
+__all__ = ["span"]
+
+
+@contextmanager
+def span(
+    name: str,
+    logger: Optional[logging.Logger] = None,
+    telemetry: Optional[Telemetry] = None,
+    level: int = logging.DEBUG,
+):
+    """Time one named phase; yields a dict gaining ``elapsed_seconds``.
+
+    The duration is logged on ``logger`` (default: the
+    ``repro.observability.timing`` logger) and emitted as a ``span`` event
+    to ``telemetry`` (default: the process-wide current sink).  The timing
+    is recorded even when the body raises -- a failed phase still shows up
+    in the trace with its runtime.
+    """
+    log = logger if logger is not None else get_logger(__name__)
+    timing = {}
+    start = time.perf_counter()
+    try:
+        yield timing
+    finally:
+        elapsed = time.perf_counter() - start
+        timing["elapsed_seconds"] = elapsed
+        log.log(level, "span %s finished in %.3fs", name, elapsed)
+        sink = telemetry if telemetry is not None else get_telemetry()
+        if sink.enabled:
+            sink.emit(SpanFinished(name=name, elapsed_seconds=elapsed))

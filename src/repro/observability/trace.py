@@ -1,0 +1,72 @@
+"""JSONL trace sink: one telemetry event per line, durable and greppable.
+
+A trace file is the post-hoc counterpart of the progress renderer: every
+trial of a sweep appears as ``trial_started`` plus exactly one of
+``trial_finished`` / ``trial_cached`` / ``trial_failed``, interleaved with
+``sweep_progress`` counters, ``slot_batch`` timings, ``journal_appended``
+store appends and ``span`` phase durations.  The CLI's ``--trace [DIR]``
+writes the file next to the store's run manifests by default, so a killed
+``sweep`` leaves both its journaled trials *and* the timeline that explains
+what it was doing when it died (see EXPERIMENTS.md, "Reading trace files").
+
+Lines are flushed per event (no fsync -- the trace is diagnostic, the
+store journal is the durable artifact); a truncated final line after a
+kill is expected and tolerated by readers.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import uuid
+from typing import IO, Optional, Union
+
+from .events import Telemetry, TelemetryEvent
+
+__all__ = ["JsonlTraceSink", "open_trace"]
+
+
+class JsonlTraceSink(Telemetry):
+    """Write each event as one JSON line ``{"ts": ..., "event": ..., ...}``.
+
+    The file is opened lazily on the first emission and closed by
+    :meth:`close` (or the context-manager exit inherited from
+    :class:`~repro.observability.events.Telemetry`).
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]):
+        self.path = pathlib.Path(path)
+        self._handle: Optional[IO[str]] = None
+        self.emitted = 0
+
+    def emit(self, event: TelemetryEvent) -> None:
+        record = {"ts": round(time.time(), 6)}
+        record.update(event.to_record())
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(
+            json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        )
+        self._handle.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def open_trace(
+    directory: Union[str, pathlib.Path], prefix: str = "trace"
+) -> JsonlTraceSink:
+    """A fresh uniquely-named trace sink inside ``directory``.
+
+    The filename follows the run-manifest convention
+    (``<prefix>-YYYYmmdd-HHMMSS-<uuid8>.jsonl``), so traces written into a
+    store directory sort alongside the manifests they narrate.
+    """
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    name = f"{prefix}-{stamp}-{uuid.uuid4().hex[:8]}.jsonl"
+    return JsonlTraceSink(pathlib.Path(directory) / name)

@@ -60,6 +60,9 @@ from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..observability import events as _events
+from ..observability.log import get_logger
+
 __all__ = [
     "TrialError",
     "TrialFailed",
@@ -68,6 +71,8 @@ __all__ = [
     "TrialRunner",
     "run_trials",
 ]
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,10 @@ class TrialError:
     #: Total attempts made (first run + retries).
     attempts: int
     traceback: str = ""
+    #: Wall-clock seconds of the final attempt at the point of failure
+    #: (how long a timeout burned, how far an exception got; 0.0 when the
+    #: worker died before reporting).
+    elapsed_seconds: float = 0.0
 
     def __str__(self) -> str:
         return (
@@ -181,7 +190,14 @@ def _execute_trial(trial_fn, index, seed_seq, payload, timeout):
         value = trial_fn(rng, payload)
         return ("ok", index, value, time.perf_counter() - start, "")
     except _TrialTimeout:
-        return ("timeout", index, None, f"trial exceeded {timeout} s", "")
+        return (
+            "timeout",
+            index,
+            None,
+            f"trial exceeded {timeout} s",
+            "",
+            time.perf_counter() - start,
+        )
     except Exception as exc:  # noqa: BLE001 - converted to structured error
         return (
             "exception",
@@ -189,11 +205,89 @@ def _execute_trial(trial_fn, index, seed_seq, payload, timeout):
             None,
             f"{type(exc).__name__}: {exc}",
             traceback_module.format_exc(),
+            time.perf_counter() - start,
         )
     finally:
         if timeout is not None:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous_handler)
+
+
+class _Emitter:
+    """Parent-side telemetry for one :meth:`TrialRunner.run` call.
+
+    Tracks completion counters and translates runner outcomes into the
+    typed events of :mod:`repro.observability.events`.  With the default
+    :class:`~repro.observability.events.NullTelemetry` sink every method is
+    a counter bump plus one boolean check -- no event objects are built.
+    """
+
+    def __init__(self, sink, total: int):
+        self._sink = sink
+        self._enabled = sink.enabled
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self._start = time.perf_counter()
+
+    def _progress(self) -> None:
+        self._sink.emit(
+            _events.SweepProgress(
+                done=self.done,
+                total=self.total,
+                cached=self.cached,
+                failed=self.failed,
+                elapsed_seconds=time.perf_counter() - self._start,
+            )
+        )
+
+    def begin(self) -> None:
+        """Announce the run (done=0 progress carries the trial total)."""
+        if self._enabled:
+            self._progress()
+
+    def started(self, index: int, attempt: int) -> None:
+        if self._enabled:
+            self._sink.emit(_events.TrialStarted(index=index, attempt=attempt))
+
+    def cache_hit(self, result: "TrialResult") -> None:
+        self.done += 1
+        self.cached += 1
+        if self._enabled:
+            self._sink.emit(
+                _events.TrialCached(index=result.index, duration=result.duration)
+            )
+            self._progress()
+
+    def finished(self, result: "TrialResult") -> None:
+        """Record one final (non-cached) outcome: success or failure."""
+        self.done += 1
+        if not result.ok:
+            self.failed += 1
+            error = result.error
+            _log.warning("trial failed: %s", error)
+            if self._enabled:
+                self._sink.emit(
+                    _events.TrialFailedEvent(
+                        index=error.trial_index,
+                        kind=error.kind,
+                        message=error.message,
+                        attempts=error.attempts,
+                        elapsed_seconds=error.elapsed_seconds,
+                    )
+                )
+                self._progress()
+            return
+        if self._enabled:
+            self._sink.emit(
+                _events.TrialFinished(
+                    index=result.index,
+                    attempts=result.attempts,
+                    duration=result.duration,
+                )
+            )
+            self._progress()
 
 
 class TrialRunner:
@@ -216,6 +310,14 @@ class TrialRunner:
     chunk_size:
         In pool mode at most ``workers * chunk_size`` trials are in flight
         at once, bounding memory for very long sweeps.
+    telemetry:
+        Optional :class:`~repro.observability.events.Telemetry` sink for
+        the trial lifecycle events (``trial_started`` / ``trial_finished``
+        / ``trial_cached`` / ``trial_failed`` and ``sweep_progress``).
+        ``None`` uses the process-wide current sink
+        (:func:`~repro.observability.events.get_telemetry`), which is a
+        no-op unless the CLI (or a test) installed one.  Events are
+        emitted from the parent process only.
     """
 
     #: Extra parent-side slack (seconds) on top of ``timeout`` before the
@@ -229,6 +331,7 @@ class TrialRunner:
         timeout: Optional[float] = None,
         retries: int = 1,
         chunk_size: int = 4,
+        telemetry: Optional[_events.Telemetry] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1 or None, got {workers}")
@@ -243,6 +346,7 @@ class TrialRunner:
         self._timeout = timeout
         self._retries = retries
         self._chunk_size = chunk_size
+        self._telemetry = telemetry
         self._last_stats: Optional[TrialStats] = None
 
     @property
@@ -300,6 +404,15 @@ class TrialRunner:
         if sorted(order) != list(range(count)):
             raise ValueError("submission_order must be a permutation of the trial indices")
         start = time.perf_counter()
+        sink = self._telemetry if self._telemetry is not None else _events.get_telemetry()
+        emitter = _Emitter(sink, count)
+        emitter.begin()
+        _log.debug(
+            "running %d trial(s) (%s, %d cache key(s))",
+            count,
+            "inline" if self._workers is None else f"{self._workers} workers",
+            sum(1 for key in keys or [] if key is not None),
+        )
         results: List[Optional[TrialResult]] = [None] * count
         if cache is not None and keys is not None:
             for index in range(count):
@@ -314,14 +427,19 @@ class TrialRunner:
                         duration=hit.duration,
                         cached=True,
                     )
+                    emitter.cache_hit(results[index])
         cache_hits = sum(1 for r in results if r is not None)
         remaining = [index for index in order if results[index] is None]
         if remaining:
             seeds = np.random.SeedSequence(seed).spawn(count)
             if self._workers is None:
-                self._run_inline(payloads, seeds, remaining, results, cache, keys)
+                self._run_inline(
+                    payloads, seeds, remaining, results, cache, keys, emitter
+                )
             else:
-                self._run_pool(payloads, seeds, remaining, results, cache, keys)
+                self._run_pool(
+                    payloads, seeds, remaining, results, cache, keys, emitter
+                )
         elapsed = time.perf_counter() - start
         failures = sum(1 for r in results if not r.ok)
         retries = sum(max(r.attempts - 1, 0) for r in results)
@@ -333,6 +451,7 @@ class TrialRunner:
             workers=self._workers,
             cache_hits=cache_hits,
         )
+        _log.debug("run complete: %s", self._last_stats.summary())
         return results  # type: ignore[return-value]
 
     def run_values(
@@ -367,6 +486,8 @@ class TrialRunner:
             message=outcome[3],
             attempts=attempts,
             traceback=outcome[4],
+            # legacy 5-tuples (no elapsed slot) surface as 0.0
+            elapsed_seconds=float(outcome[5]) if len(outcome) > 5 else 0.0,
         )
         return TrialResult(index=index, value=None, attempts=attempts, duration=0.0, error=error)
 
@@ -379,20 +500,26 @@ class TrialRunner:
         if key is not None:
             cache.put(key, result.value, result.duration)
 
-    def _run_inline(self, payloads, seeds, order, results, cache, keys) -> None:
+    def _run_inline(
+        self, payloads, seeds, order, results, cache, keys, emitter
+    ) -> None:
         for index in order:
             attempts = 0
             while True:
                 attempts += 1
+                emitter.started(index, attempts)
                 outcome = _execute_trial(
                     self._trial_fn, index, seeds[index], payloads[index], self._timeout
                 )
                 if outcome[0] == "ok" or attempts > self._retries:
                     results[index] = self._finish(outcome, attempts)
                     self._journal(cache, keys, results[index])
+                    emitter.finished(results[index])
                     break
 
-    def _run_pool(self, payloads, seeds, order, results, cache, keys) -> None:
+    def _run_pool(
+        self, payloads, seeds, order, results, cache, keys, emitter
+    ) -> None:
         pending = deque(order)
         attempts = [0] * len(payloads)
         window = self._workers * self._chunk_size
@@ -406,6 +533,7 @@ class TrialRunner:
                 while pending and len(inflight) < window:
                     index = pending.popleft()
                     attempts[index] += 1
+                    emitter.started(index, attempts[index])
                     future = executor.submit(
                         _execute_trial,
                         self._trial_fn,
@@ -431,12 +559,13 @@ class TrialRunner:
                     except BrokenProcessPool:
                         broken = True
                         self._record_crash(
-                            results, pending, attempts, index, hard_timed_out
+                            results, pending, attempts, index, hard_timed_out, emitter
                         )
                         continue
                     if outcome[0] == "ok" or attempts[index] > self._retries:
                         results[index] = self._finish(outcome, attempts[index])
                         self._journal(cache, keys, results[index])
+                        emitter.finished(results[index])
                     else:
                         pending.append(index)
                 if not done and self._deadline_exceeded(inflight):
@@ -450,9 +579,14 @@ class TrialRunner:
                 if broken:
                     # The pool is unusable: every remaining in-flight trial
                     # died with it.  Re-queue or fail each, then rebuild.
+                    _log.warning(
+                        "worker pool broke with %d trial(s) in flight; "
+                        "rebuilding the pool",
+                        len(inflight),
+                    )
                     for future, (index, _deadline) in inflight.items():
                         self._record_crash(
-                            results, pending, attempts, index, hard_timed_out
+                            results, pending, attempts, index, hard_timed_out, emitter
                         )
                     inflight.clear()
                     executor.shutdown(wait=False, cancel_futures=True)
@@ -460,7 +594,9 @@ class TrialRunner:
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
 
-    def _record_crash(self, results, pending, attempts, index, hard_timed_out):
+    def _record_crash(
+        self, results, pending, attempts, index, hard_timed_out, emitter
+    ):
         """Re-queue a trial whose worker died, or surface the error."""
         if attempts[index] <= self._retries:
             pending.append(index)
@@ -469,17 +605,22 @@ class TrialRunner:
             kind, message = "timeout", (
                 f"trial ignored its {self._timeout} s alarm and was terminated"
             )
+            # the worker burned the full deadline before the parent shot it
+            elapsed = float(self._timeout) + self.HARD_TIMEOUT_GRACE
         else:
             kind, message = "worker-crash", "worker process died mid-trial"
+            elapsed = 0.0
         error = TrialError(
             trial_index=index,
             kind=kind,
             message=message,
             attempts=attempts[index],
+            elapsed_seconds=elapsed,
         )
         results[index] = TrialResult(
             index=index, value=None, attempts=attempts[index], duration=0.0, error=error
         )
+        emitter.finished(results[index])
 
     @staticmethod
     def _deadline_exceeded(inflight) -> bool:
@@ -491,13 +632,26 @@ class TrialRunner:
 
     @staticmethod
     def _terminate_workers(executor) -> None:
-        """Forcibly kill the pool's worker processes (hard-timeout path)."""
+        """Forcibly kill the pool's worker processes (hard-timeout path).
+
+        Best effort: a worker that cannot be terminated (already reaped,
+        permission lost) is logged and skipped so the remaining workers
+        still get killed -- but never silently, so a stuck shutdown is
+        diagnosable from the log.
+        """
         processes = getattr(executor, "_processes", None) or {}
         for process in list(processes.values()):
             try:
                 process.terminate()
-            except Exception:  # pragma: no cover - best effort
-                pass
+            except Exception as exc:  # best effort: keep killing the rest
+                _log.warning(
+                    "failed to terminate worker %s during pool shutdown: "
+                    "%s: %s",
+                    getattr(process, "pid", "?"),
+                    type(exc).__name__,
+                    exc,
+                    exc_info=True,
+                )
 
 
 def run_trials(

@@ -23,11 +23,15 @@ import numpy as np
 
 from ..geometry.neighbors import CellGridIndex
 from ..mobility.processes import MobilityProcess
+from ..observability.events import SlotBatch, get_telemetry
+from ..observability.log import get_logger
 from ..wireless.scheduler import Scheduler
 from .metrics import SimulationMetrics
 from .traffic import PermutationTraffic
 
 __all__ = ["Packet", "PacketRouter", "SlottedSimulator"]
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -209,7 +213,28 @@ class SlottedSimulator:
         start = time.perf_counter()
         for _ in range(slots):
             self.step()
-        self._elapsed += time.perf_counter() - start
+        batch_elapsed = time.perf_counter() - start
+        self._elapsed += batch_elapsed
+        # One slot_batch event + one DEBUG line per run() call (not per
+        # slot): the telemetry overhead stays invisible on the hot path.
+        sink = get_telemetry()
+        if sink.enabled:
+            sink.emit(
+                SlotBatch(
+                    slots=slots,
+                    elapsed_seconds=batch_elapsed,
+                    total_slots=self._slot,
+                    created=self._next_pid,
+                    delivered=len(self._delivered),
+                )
+            )
+        _log.debug(
+            "ran %d slot(s) in %.3fs (%.0f slots/s, %d delivered so far)",
+            slots,
+            batch_elapsed,
+            slots / batch_elapsed if batch_elapsed > 0 else float("nan"),
+            len(self._delivered),
+        )
         in_flight = sum(len(queue) for queue in self._queues.values())
         delays = [
             packet.state["delivered_slot"] - packet.created_slot

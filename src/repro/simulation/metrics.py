@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,9 +36,15 @@ class SimulationMetrics:
     @property
     def slots_per_second(self) -> float:
         """Simulated slots per wall-clock second -- the scheduler hot-path
-        throughput counter used by the speedup benchmarks."""
+        throughput counter used by the speedup benchmarks.
+
+        ``nan`` when no wall-clock time was recorded (metrics rebuilt from
+        a store journal, or a sub-resolution run): a 0.0 here used to read
+        as "infinitely slow" in throughput comparisons.  Matches the nan
+        convention of :attr:`mean_delay`/:attr:`mean_hops`.
+        """
         if self.elapsed_seconds <= 0:
-            return 0.0
+            return float("nan")
         return self.slots / self.elapsed_seconds
 
     @property
@@ -64,10 +71,12 @@ class SimulationMetrics:
         return float(self.hop_counts.mean())
 
     def summary(self) -> str:
-        """One-line human-readable digest."""
+        """One-line human-readable digest (``n/a`` when timing is absent)."""
+        rate = self.slots_per_second
+        rate_text = "n/a" if math.isnan(rate) else f"{rate:.0f}"
         return (
             f"slots={self.slots} created={self.created} delivered={self.delivered} "
             f"in_flight={self.in_flight} throughput={self.per_node_throughput:.3e} "
             f"delay={self.mean_delay:.1f} hops={self.mean_hops:.1f} "
-            f"slots/s={self.slots_per_second:.0f}"
+            f"slots/s={rate_text}"
         )

@@ -35,10 +35,14 @@ import uuid
 from dataclasses import dataclass
 from typing import IO, Any, Dict, List, Optional, Sequence, Union
 
+from ..observability.events import JournalAppended, get_telemetry
+from ..observability.log import get_logger
 from .provenance import collect_provenance
 from .serialize import SCHEMA_VERSION, from_jsonable, to_jsonable
 
 __all__ = ["CachedTrial", "GCStats", "RunStore", "open_store"]
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -132,6 +136,13 @@ class RunStore:
         self._journal_handle.write(line + "\n")
         self._journal_handle.flush()
         os.fsync(self._journal_handle.fileno())
+        sink = get_telemetry()
+        if sink.enabled:
+            sink.emit(
+                JournalAppended(
+                    key=key, bytes=len(line) + 1, duration=float(duration)
+                )
+            )
         if self._index is not None:
             self._index[key] = CachedTrial(key=key, value=from_jsonable(
                 json.loads(line)["value"]), duration=float(duration))
@@ -186,6 +197,13 @@ class RunStore:
                     skipped += 1
                     continue
                 index[key] = trial  # duplicate keys: last write wins
+        if skipped:
+            _log.warning(
+                "skipped %d corrupt or stale-schema line(s) loading journal "
+                "%s (the owning trials will simply rerun)",
+                skipped,
+                self.journal_path,
+            )
         return index, skipped
 
     def __len__(self) -> int:
@@ -239,6 +257,12 @@ class RunStore:
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(manifest, indent=2, allow_nan=False) + "\n")
         os.replace(tmp, path)
+        _log.info(
+            "recorded run manifest %s (command=%s, %d trial key(s))",
+            run_id,
+            command,
+            len(manifest["trial_keys"]),
+        )
         return run_id
 
     def list_runs(self) -> List[dict]:
@@ -329,9 +353,11 @@ class RunStore:
             os.fsync(handle.fileno())
         os.replace(tmp, self.journal_path)
         self._index = None
-        return GCStats(
+        stats = GCStats(
             runs_removed=removed, entries_kept=len(kept), entries_dropped=dropped
         )
+        _log.info("gc %s: %s", self.root, stats.summary())
+        return stats
 
 
 def open_store(

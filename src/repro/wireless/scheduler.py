@@ -28,7 +28,10 @@ import numpy as np
 
 from ..geometry.neighbors import CellGridIndex, adjacency_lists, pair_distances
 from ..geometry.torus import pairwise_distances
+from ..observability.log import get_logger
 from .protocol_model import Link, ProtocolModel
+
+_log = get_logger(__name__)
 
 __all__ = [
     "Scheduler",
@@ -114,6 +117,12 @@ class PolicySStar(Scheduler):
         self._model = ProtocolModel(delta)
         self._range = c_t / math.sqrt(node_count)
         self._reference = reference
+        # Scheduling is the per-slot hot path, so instrumentation stays at
+        # construction time: one DEBUG line, nothing per schedule() call.
+        _log.debug(
+            "PolicySStar: n=%d R_T=%.5f delta=%s reference=%s",
+            node_count, self._range, delta, reference,
+        )
 
     @property
     def protocol_model(self) -> ProtocolModel:
@@ -407,6 +416,11 @@ class TDMACellScheduler(Scheduler):
         ]
         self._pointer = np.zeros(bs_colors.shape[0], dtype=int)
         self._slot = 0
+        _log.debug(
+            "TDMACellScheduler: %d MS over %d cell(s) in %d group(s), "
+            "range=%.5f",
+            ms_count, bs_colors.shape[0], self._group_count, self._range,
+        )
 
     @property
     def group_count(self) -> int:

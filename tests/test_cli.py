@@ -1,5 +1,8 @@
 """Unit tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.__main__ import main
@@ -157,3 +160,85 @@ class TestRuns:
         blocker.write_text("not a directory")
         assert main(SWEEP_ARGS + ["--store", str(blocker)]) == 2
         assert "store error" in capsys.readouterr().err
+
+
+def read_trace(directory):
+    """Parse the single trace file in ``directory`` into records."""
+    files = sorted(directory.glob("trace-*.jsonl"))
+    assert len(files) == 1, files
+    return [json.loads(line) for line in files[0].read_text().splitlines()]
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def _drop_configured_handlers(self):
+        # main() installs a stderr handler bound to capsys's stream; strip
+        # it afterwards so later tests never log into a stale capture
+        yield
+        root = logging.getLogger("repro")
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_configured", False):
+                root.removeHandler(handler)
+
+    def test_trace_covers_every_trial(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        assert main(SWEEP_ARGS + ["--trace", str(trace_dir)]) == 0
+        err = capsys.readouterr().err
+        assert "trace:" in err
+        records = read_trace(trace_dir)
+        started = {r["index"] for r in records if r["event"] == "trial_started"}
+        ended = {
+            r["index"]
+            for r in records
+            if r["event"] in ("trial_finished", "trial_cached", "trial_failed")
+        }
+        # two grid points x one trial: both announced and both resolved
+        assert started == ended == {0, 1}
+        assert any(r["event"] == "sweep_progress" for r in records)
+        assert any(r["event"] == "span" for r in records)
+        assert all("ts" in r for r in records)
+
+    def test_bare_trace_lands_next_to_store(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        assert main(SWEEP_ARGS + ["--store", str(store), "--trace"]) == 0
+        records = read_trace(store)
+        # journaled trials show up in the trace alongside the lifecycle
+        assert any(r["event"] == "journal_appended" for r in records)
+
+    def test_warm_run_traces_cache_hits(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        assert main(SWEEP_ARGS + ["--store", str(store)]) == 0
+        trace_dir = tmp_path / "traces"
+        assert main(SWEEP_ARGS + ["--store", str(store),
+                                  "--trace", str(trace_dir)]) == 0
+        records = read_trace(trace_dir)
+        cached = [r for r in records if r["event"] == "trial_cached"]
+        assert {r["index"] for r in cached} == {0, 1}
+        progress = [r for r in records if r["event"] == "sweep_progress"]
+        assert progress[-1]["cached"] == 2
+
+    def test_progress_forced_on_non_tty(self, capsys):
+        assert main(SWEEP_ARGS + ["--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "trials/s" in err
+        assert "2/2" in err
+
+    def test_no_progress_is_silent(self, capsys):
+        assert main(SWEEP_ARGS + ["--no-progress"]) == 0
+        assert "trials/s" not in capsys.readouterr().err
+
+    def test_log_level_info_writes_to_stderr(self, capsys):
+        assert main(["--log-level", "INFO"] + SWEEP_ARGS) == 0
+        err = capsys.readouterr().err
+        assert "INFO" in err
+        assert "repro" in err
+
+    def test_log_json_lines_parse(self, capsys):
+        assert main(["--log-level", "INFO", "--log-json"] + SWEEP_ARGS) == 0
+        lines = [l for l in capsys.readouterr().err.splitlines() if l]
+        records = [json.loads(line) for line in lines]
+        assert all(r["logger"].startswith("repro") for r in records)
+
+    def test_unknown_log_level_exits_2(self, capsys):
+        assert main(["--log-level", "LOUD", "table1"]) == 2
+        assert "unknown log level" in capsys.readouterr().err
