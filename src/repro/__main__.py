@@ -29,6 +29,17 @@ manifests) and ``--progress`` / ``--no-progress`` (live trials/s + ETA +
 cache-hit rendering on stderr; the default shows progress only on a TTY).
 ``print`` in this package is reserved for the CLI *result* output below --
 diagnostics go through the logger.
+
+Resilience (see ``repro.resilience``): ``sweep`` and ``reproduce`` accept
+``--retries N`` (extra attempts per failing trial), ``--backoff SECONDS``
+(exponential backoff base between attempts, deterministic per trial),
+``--min-success FRACTION`` (tolerate failed trials down to this success
+fraction instead of aborting; the manifest records ``status="partial"``)
+and ``--inject-faults SPEC`` (deterministic chaos testing -- e.g.
+``kill@0,raise@2-5,nan@7``; see ``repro.resilience.faults`` for the
+grammar).  SIGINT/SIGTERM drain gracefully: completed trials stay
+journaled, a ``status="interrupted"`` manifest is recorded, and the exit
+code is 130.
 """
 
 from __future__ import annotations
@@ -160,6 +171,44 @@ def _store(args):
     return RunStore(args.store, use_cache=not args.no_cache)
 
 
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="extra attempts granted to a failing trial (default 1)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.0, metavar="SECONDS",
+        help="exponential backoff base between attempts (default 0: retry "
+        "immediately); the schedule is deterministic per trial",
+    )
+    parser.add_argument(
+        "--min-success", type=float, default=1.0, metavar="FRACTION",
+        help="tolerate failed trials down to this success fraction "
+        "instead of aborting (default 1.0: any failure aborts); partial "
+        "runs record status=partial in their manifest",
+    )
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault injection for chaos testing, e.g. "
+        "'kill@0,raise@2-5,nan@7' (KIND@SELECT[xN]; kinds: raise, hang, "
+        "kill, nan, io)",
+    )
+
+
+def _resilience(args):
+    """CLI resilience flags -> ResilienceConfig."""
+    from .resilience import FaultPlan, ResilienceConfig, RetryPolicy
+
+    fault_plan = (
+        FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+    )
+    return ResilienceConfig(
+        retry=RetryPolicy.from_retries(args.retries, backoff_base=args.backoff),
+        fault_plan=fault_plan,
+        min_success_fraction=args.min_success,
+    )
+
+
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", nargs="?", const="", default=None, metavar="DIR",
@@ -213,6 +262,7 @@ def _cmd_sweep(args) -> int:
         seed=args.seed,
         workers=_workers(args),
         store=_store(args),
+        resilience=_resilience(args),
     )
     print(params.describe())
     for n, rate in zip(result.n_values, result.rates):
@@ -278,6 +328,8 @@ def _cmd_runs(args) -> int:
     if args.action == "gc":
         stats = store.gc(keep=args.keep, drop_orphans=args.drop_orphans)
         print(stats.summary())
+        if store.corrupt_path.exists():
+            print(f"quarantine sidecar: {store.corrupt_path}")
         return 0
     print(f"unknown runs action {args.action!r}", file=sys.stderr)
     return 2
@@ -299,6 +351,7 @@ def _cmd_reproduce(args) -> int:
 
     workers = _workers(args)
     store = _store(args)
+    resilience = _resilience(args)
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     if args.grid:
@@ -324,7 +377,7 @@ def _cmd_reproduce(args) -> int:
         kwargs = {"mobility": "static"} if row.sweep_scheme == "C" else {}
         result = measure_row(
             row, grid, trials=trials, seed=7, build_kwargs=kwargs,
-            workers=workers, store=store,
+            workers=workers, store=store, resilience=resilience,
         )
         measured = "fail" if result.fit is None else f"{result.fit.exponent:+.3f}"
         rows.append([row.label, f"{result.theory_exponent:+.3f}", measured])
@@ -345,6 +398,7 @@ def _cmd_reproduce(args) -> int:
         seed=42,
         workers=workers,
         store=store,
+        resilience=resilience,
     )
     sections.append(left.summary())
     sections.append(right.summary())
@@ -353,7 +407,8 @@ def _cmd_reproduce(args) -> int:
     # one trial per traced session; [0] matches the historical
     # trace_scheme_b(n, default_rng(5)) output exactly
     trace = trace_scheme_b_sessions(
-        400 if args.quick else 600, seed=5, workers=workers, store=store
+        400 if args.quick else 600, seed=5, workers=workers, store=store,
+        resilience=resilience,
     )[0]
     sections.extend(trace.lines())
 
@@ -419,6 +474,7 @@ def main(argv=None) -> int:
     )
     _add_store_arguments(cmd)
     _add_telemetry_arguments(cmd)
+    _add_resilience_arguments(cmd)
     cmd.set_defaults(func=_cmd_sweep)
 
     cmd = commands.add_parser(
@@ -439,6 +495,7 @@ def main(argv=None) -> int:
     )
     _add_store_arguments(cmd)
     _add_telemetry_arguments(cmd)
+    _add_resilience_arguments(cmd)
     cmd.set_defaults(func=_cmd_reproduce)
 
     cmd = commands.add_parser(
@@ -456,6 +513,12 @@ def main(argv=None) -> int:
         help="gc: also drop journal entries referenced by no kept manifest "
         "(default keeps them -- they are what makes killed runs resumable)",
     )
+    cmd.add_argument(
+        "--compact", action="store_true",
+        help="gc: compact the journal, quarantining corrupt lines to the "
+        "journal.corrupt sidecar (gc always compacts; this flag makes a "
+        "compaction-only pass explicit: 'runs gc --compact')",
+    )
     cmd.set_defaults(func=_cmd_runs)
 
     args = parser.parse_args(argv)
@@ -464,6 +527,9 @@ def main(argv=None) -> int:
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
+    from .parallel import TrialFailed
+    from .resilience import FaultSpecError, interruptible
+
     try:
         telemetry, trace_path = _telemetry(args)
         context = (
@@ -471,7 +537,7 @@ def main(argv=None) -> int:
             if telemetry is not None
             else contextlib.nullcontext()
         )
-        with context:
+        with context, interruptible():
             try:
                 return args.func(args)
             finally:
@@ -483,9 +549,33 @@ def main(argv=None) -> int:
     except InvalidParameters as error:
         print(f"invalid parameters: {error}", file=sys.stderr)
         return 2
+    except FaultSpecError as error:
+        print(f"invalid --inject-faults spec: {error}", file=sys.stderr)
+        return 2
+    except TrialFailed as error:
+        print(
+            f"trial failed for good: {error}\n"
+            "(raise --retries, or accept partial results with "
+            "--min-success FRACTION)",
+            file=sys.stderr,
+        )
+        return 1
+    except KeyboardInterrupt:
+        # graceful drain (SIGINT, or SIGTERM via interruptible()): completed
+        # trials are already journaled and an interrupted manifest recorded.
+        print(
+            "interrupted; completed trials remain journaled -- re-running "
+            "the same command resumes from them",
+            file=sys.stderr,
+        )
+        return 130
     except OSError as error:
         # e.g. --store pointing at a file, or an unwritable directory
         print(f"store error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        # e.g. --min-success out of range, or a malformed --grid list
+        print(f"invalid arguments: {error}", file=sys.stderr)
         return 2
 
 

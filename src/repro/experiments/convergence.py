@@ -10,6 +10,7 @@ quantitative footing for the tolerance used by the Table-I benchmarks.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -19,6 +20,7 @@ from ..core.regimes import NetworkParameters
 from ..observability.log import get_logger
 from ..observability.timing import span
 from ..parallel import TrialRunner
+from ..resilience import ResilienceConfig, check_min_success, validate_rate
 from ..store import content_digest, open_store
 from ..utils.fitting import fit_power_law
 from .scaling import (
@@ -79,6 +81,7 @@ def windowed_slopes(
     generic: bool = False,
     workers: Optional[int] = None,
     store=None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> ConvergenceStudy:
     """Measure ``lambda(n)`` on the grid and fit slopes per sliding window.
 
@@ -89,7 +92,10 @@ def windowed_slopes(
     trials and journals fresh ones (see :mod:`repro.store`); a convergence
     study shares its trial keys with :func:`~.scaling.sweep_capacity`, so a
     sweep over the same family/grid/seed warms the study's cache and vice
-    versa.
+    versa.  ``resilience`` configures retries, fault injection and
+    ``min_success_fraction`` partial-result semantics (failed trials become
+    NaN samples excluded from the window medians; an interrupted study
+    records a resumable ``status="interrupted"`` manifest).
     """
     store = open_store(store)
     n_values = np.asarray(sorted(n_values), dtype=int)
@@ -105,29 +111,59 @@ def windowed_slopes(
         "windowed_slopes: scheme=%s grid=%s window=%d trials=%d workers=%s",
         scheme, [int(n) for n in n_values], window, trials, workers,
     )
-    runner = TrialRunner(_sweep_trial, workers=workers)
-    with span("convergence.windowed_slopes", logger=_log):
-        samples = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
-    rates = np.median(
-        np.asarray(samples, dtype=float).reshape(n_values.shape[0], trials), axis=1
+    resilience = resilience if resilience is not None else ResilienceConfig()
+    runner = TrialRunner(
+        _sweep_trial,
+        workers=workers,
+        validator=validate_rate,
+        **resilience.runner_kwargs(),
     )
+    config = {
+        "scheme": scheme,
+        "n_values": [int(n) for n in n_values],
+        "window": window,
+        "trials": trials,
+        "seed": seed,
+        "build_kwargs": build_kwargs or {},
+        "generic": generic,
+        "workers": workers,
+    }
+    try:
+        with span("convergence.windowed_slopes", logger=_log):
+            results = runner.run(payloads, seed=seed, cache=store, keys=keys)
+    except KeyboardInterrupt:
+        if store is not None:
+            store.close()
+            store.record_run(
+                command="convergence",
+                config=config,
+                parameters=parameters,
+                trial_keys=keys,
+                status="interrupted",
+            )
+        raise
+    failures = check_min_success(
+        results, resilience.min_success_fraction, context="windowed_slopes"
+    )
+    matrix = np.asarray(
+        [result.value if result.ok else np.nan for result in results],
+        dtype=float,
+    ).reshape(n_values.shape[0], trials)
+    if failures:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            rates = np.nan_to_num(np.nanmedian(matrix, axis=1), nan=0.0)
+    else:
+        rates = np.median(matrix, axis=1)
     if store is not None:
         store.record_run(
             command="convergence",
-            config={
-                "scheme": scheme,
-                "n_values": [int(n) for n in n_values],
-                "window": window,
-                "trials": trials,
-                "seed": seed,
-                "build_kwargs": build_kwargs or {},
-                "generic": generic,
-                "workers": workers,
-            },
+            config=config,
             parameters=parameters,
             trial_keys=keys,
             digest=content_digest([float(rate) for rate in rates]),
             stats=runner.last_stats,
+            status="partial" if failures else "completed",
         )
     centers, slopes = [], []
     for start in range(n_values.shape[0] - window + 1):

@@ -27,6 +27,7 @@ from ..mobility.processes import IIDAroundHome
 from ..observability.log import get_logger
 from ..observability.timing import span
 from ..parallel import TrialRunner
+from ..resilience import ResilienceConfig, successful_values
 from ..simulation.engine import SlottedSimulator
 from ..simulation.network import HybridNetwork
 from ..simulation.routers import SchemeARouter, SchemeBRouter, TwoHopRelayRouter
@@ -129,6 +130,7 @@ def compare_delays(
     parameters: NetworkParameters = None,
     workers: Optional[int] = None,
     store=None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> DelayComparison:
     """Run scheme A, two-hop relay and scheme B at light load on one
     realisation and collect delay statistics.
@@ -137,7 +139,9 @@ def compare_delays(
     realisation from ``seed``), so ``workers`` fans them out over a process
     pool -- the PR-1 rollout skipped this module -- with results identical
     to the serial run.  ``store`` replays journaled discipline runs and
-    journals fresh ones (see :mod:`repro.store`).
+    journals fresh ones (see :mod:`repro.store`).  ``resilience`` configures
+    retries/faults and ``min_success_fraction`` (below 1.0 a failed
+    discipline is dropped from the comparison instead of aborting it).
     """
     if parameters is None:
         parameters = NetworkParameters(
@@ -169,9 +173,15 @@ def compare_delays(
         "delay: comparing %s at n=%d over %d slot(s) (workers=%s)",
         list(DELAY_SCHEMES), n, slots, workers,
     )
-    runner = TrialRunner(_delay_trial, workers=workers)
+    resilience = resilience if resilience is not None else ResilienceConfig()
+    runner = TrialRunner(
+        _delay_trial, workers=workers, **resilience.runner_kwargs()
+    )
     with span("delay.compare_delays", logger=_log):
-        outcomes = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+        results = runner.run(payloads, seed=seed, cache=store, keys=keys)
+    outcomes = successful_values(
+        results, resilience.min_success_fraction, context="delay"
+    )
     if store is not None:
         store.record_run(
             command="delay",
@@ -186,6 +196,7 @@ def compare_delays(
             trial_keys=keys,
             durations=[outcome["elapsed_seconds"] for outcome in outcomes],
             stats=runner.last_stats,
+            status="partial" if len(outcomes) < len(results) else "completed",
         )
     mean_delay = {outcome["label"]: outcome["mean_delay"] for outcome in outcomes}
     mean_hops = {outcome["label"]: outcome["mean_hops"] for outcome in outcomes}

@@ -23,6 +23,7 @@ from ..mobility.shapes import UniformDiskShape
 from ..observability.log import get_logger
 from ..observability.timing import span
 from ..parallel import TrialRunner
+from ..resilience import ResilienceConfig, successful_values
 from ..store import TrialSeed, open_store, trial_key
 
 _log = get_logger(__name__)
@@ -112,6 +113,7 @@ def make_panels(
     grid_side: int = 24,
     workers: Optional[int] = None,
     store=None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> List[Figure1Panel]:
     """Realise several Figure-1 panels as independent parallel trials.
 
@@ -119,7 +121,9 @@ def make_panels(
     trial with its own spawned seed, so panel contents do not depend on the
     worker count (unlike threading panels through one shared generator).
     ``store`` replays journaled panels and journals fresh ones, recording a
-    provenance manifest (see :mod:`repro.store`).
+    provenance manifest (see :mod:`repro.store`).  ``resilience`` sets the
+    retry policy, fault plan and ``min_success_fraction`` (below 1.0 a
+    failed panel is dropped from the returned list instead of aborting).
     """
     store = open_store(store)
     payloads = [
@@ -141,9 +145,15 @@ def make_panels(
     _log.info(
         "figure1: %d panel(s) at n=%d (workers=%s)", len(payloads), n, workers
     )
-    runner = TrialRunner(_panel_trial, workers=workers)
+    resilience = resilience if resilience is not None else ResilienceConfig()
+    runner = TrialRunner(
+        _panel_trial, workers=workers, **resilience.runner_kwargs()
+    )
     with span("figure1.make_panels", logger=_log):
-        panels = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+        results = runner.run(payloads, seed=seed, cache=store, keys=keys)
+    panels = successful_values(
+        results, resilience.min_success_fraction, context="figure1"
+    )
     if store is not None:
         store.record_run(
             command="figure1",
@@ -156,5 +166,6 @@ def make_panels(
             },
             trial_keys=keys,
             stats=runner.last_stats,
+            status="partial" if len(panels) < len(results) else "completed",
         )
     return panels

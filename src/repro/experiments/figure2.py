@@ -20,6 +20,7 @@ from ..core.regimes import NetworkParameters
 from ..observability.log import get_logger
 from ..observability.timing import span
 from ..parallel import TrialRunner
+from ..resilience import ResilienceConfig, successful_values
 from ..simulation.network import HybridNetwork
 from ..simulation.traffic import permutation_traffic
 from ..store import TrialSeed, open_store, trial_key
@@ -109,6 +110,7 @@ def trace_scheme_b_sessions(
     session_indices: Sequence[int] = (0,),
     workers: Optional[int] = None,
     store=None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> List[SchemeBTrace]:
     """Trace several sessions of one scheme-B realisation in parallel.
 
@@ -118,6 +120,8 @@ def trace_scheme_b_sessions(
     from ``seed``, and ``trace_scheme_b_sessions(n, seed)[0]`` reproduces
     ``trace_scheme_b(n, default_rng(seed))`` exactly.  ``store`` replays
     journaled traces and journals fresh ones (see :mod:`repro.store`).
+    ``resilience`` configures retries/faults and ``min_success_fraction``
+    (below 1.0 a failed trace is dropped instead of aborting the figure).
     """
     store = open_store(store)
     payloads = [
@@ -140,9 +144,15 @@ def trace_scheme_b_sessions(
         "figure2: tracing %d session(s) at n=%d seed=%d (workers=%s)",
         len(payloads), n, seed, workers,
     )
-    runner = TrialRunner(_trace_trial, workers=workers)
+    resilience = resilience if resilience is not None else ResilienceConfig()
+    runner = TrialRunner(
+        _trace_trial, workers=workers, **resilience.runner_kwargs()
+    )
     with span("figure2.trace_sessions", logger=_log):
-        traces = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+        results = runner.run(payloads, seed=seed, cache=store, keys=keys)
+    traces = successful_values(
+        results, resilience.min_success_fraction, context="figure2"
+    )
     if store is not None:
         store.record_run(
             command="figure2",
@@ -155,5 +165,6 @@ def trace_scheme_b_sessions(
             parameters=parameters,
             trial_keys=keys,
             stats=runner.last_stats,
+            status="partial" if len(traces) < len(results) else "completed",
         )
     return traces

@@ -25,6 +25,7 @@ from ..core.regimes import NetworkParameters
 from ..observability.log import get_logger
 from ..observability.timing import span
 from ..parallel import TrialRunner
+from ..resilience import ResilienceConfig, successful_values
 from ..simulation.network import HybridNetwork
 from ..store import TrialSeed, open_store, trial_key
 
@@ -130,6 +131,7 @@ def simulated_spot_checks(
     seed: int = 0,
     workers: Optional[int] = None,
     store=None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> List[SpotCheck]:
     """Measure scheme A vs scheme B rates at selected ``(alpha, K, phi)``.
 
@@ -138,7 +140,9 @@ def simulated_spot_checks(
     process pool; per-point seeds are spawned by index from ``seed``, making
     the checks identical at any worker count.  ``store`` replays journaled
     spot checks keyed by ``(alpha, K, phi, n, point seed)`` and journals
-    fresh ones (see :mod:`repro.store`).
+    fresh ones (see :mod:`repro.store`).  ``resilience`` configures retries,
+    fault injection and ``min_success_fraction`` (below 1.0 a failed point
+    is dropped instead of aborting the panel).
     """
     store = open_store(store)
     payloads = [
@@ -164,9 +168,15 @@ def simulated_spot_checks(
         "figure3: %d spot check(s) at n=%d (workers=%s)",
         len(payloads), n, workers,
     )
-    runner = TrialRunner(_spot_check_trial, workers=workers)
+    resilience = resilience if resilience is not None else ResilienceConfig()
+    runner = TrialRunner(
+        _spot_check_trial, workers=workers, **resilience.runner_kwargs()
+    )
     with span("figure3.spot_checks", logger=_log):
-        checks = runner.run_values(payloads, seed=seed, cache=store, keys=keys)
+        results = runner.run(payloads, seed=seed, cache=store, keys=keys)
+    checks = successful_values(
+        results, resilience.min_success_fraction, context="figure3"
+    )
     if store is not None:
         store.record_run(
             command="figure3-spot-checks",
@@ -178,5 +188,6 @@ def simulated_spot_checks(
             },
             trial_keys=keys,
             stats=runner.last_stats,
+            status="partial" if len(checks) < len(results) else "completed",
         )
     return checks

@@ -9,6 +9,7 @@ exponent of :mod:`repro.core.capacity`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -23,7 +24,8 @@ from ..core.order import Order
 from ..core.regimes import MobilityRegime, NetworkParameters
 from ..observability.log import get_logger
 from ..observability.timing import span
-from ..parallel import TrialFailed, TrialRunner, TrialStats
+from ..parallel import TrialRunner, TrialStats
+from ..resilience import ResilienceConfig, check_min_success, validate_rate
 from ..routing.base import FlowResult
 from ..simulation.network import HybridNetwork
 from ..store import TrialSeed, content_digest, open_store, trial_key
@@ -237,6 +239,7 @@ def sweep_capacity(
     generic: bool = False,
     workers: Optional[int] = None,
     store=None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> SweepResult:
     """Measure ``lambda(n)`` over a grid of ``n`` and fit the exponent.
 
@@ -264,6 +267,20 @@ def sweep_capacity(
     with full provenance is recorded.  The resulting rates -- and therefore
     :meth:`SweepResult.digest` -- are bit-identical with or without the
     cache, at any worker count.
+
+    ``resilience`` (a :class:`repro.resilience.ResilienceConfig`) governs
+    failure handling: the retry policy, deterministic fault injection, the
+    crash-storm degradation threshold, and ``min_success_fraction`` --
+    with a fraction below 1.0 the sweep tolerates failed trials, taking
+    per-``n`` medians over the surviving ones (an ``n`` with no survivors
+    contributes a zero rate, dropped by the positive filter before
+    fitting) and recording the manifest with ``status="partial"``.  Every
+    fresh value passes the NaN/inf/negative validation boundary
+    (:func:`repro.resilience.validate_rate`).  On SIGINT (or SIGTERM under
+    :func:`repro.resilience.interruptible`) the sweep drains: completed
+    trials are already journaled, a ``status="interrupted"`` manifest is
+    recorded, and the interrupt propagates -- re-invoking the same sweep
+    resumes from the journal and reproduces the uninterrupted digest.
     """
     if scheme not in SCHEME_SELECTORS:
         raise ValueError(
@@ -283,16 +300,59 @@ def sweep_capacity(
         scheme, [int(n) for n in n_values], trials, seed, workers,
         getattr(store, "root", None),
     )
-    runner = TrialRunner(_sweep_trial, workers=workers)
-    with span("sweep_capacity", logger=_log):
-        results = runner.run(payloads, seed=seed, cache=store, keys=keys)
-    for trial_result in results:
-        if not trial_result.ok:
-            raise TrialFailed(trial_result.error)
-    samples = [trial_result.value for trial_result in results]
-    rates = np.median(
-        np.asarray(samples, dtype=float).reshape(n_values.shape[0], trials), axis=1
+    resilience = resilience if resilience is not None else ResilienceConfig()
+    runner = TrialRunner(
+        _sweep_trial,
+        workers=workers,
+        validator=validate_rate,
+        **resilience.runner_kwargs(),
     )
+    try:
+        with span("sweep_capacity", logger=_log):
+            results = runner.run(payloads, seed=seed, cache=store, keys=keys)
+    except KeyboardInterrupt:
+        # graceful drain: every completed trial is already journaled; leave
+        # a resumable manifest behind and let the interrupt propagate.
+        if store is not None:
+            store.close()
+            store.record_run(
+                command="sweep",
+                config={
+                    "scheme": scheme,
+                    "n_values": [int(n) for n in n_values],
+                    "trials": trials,
+                    "seed": seed,
+                    "build_kwargs": build_kwargs or {},
+                    "generic": generic,
+                    "workers": workers,
+                },
+                parameters=parameters,
+                trial_keys=keys,
+                status="interrupted",
+            )
+            _log.warning(
+                "sweep interrupted; completed trials remain journaled in %s "
+                "-- re-running the same sweep resumes from them",
+                store.root,
+            )
+        raise
+    failures = check_min_success(
+        results, resilience.min_success_fraction, context="sweep_capacity"
+    )
+    matrix = np.asarray(
+        [result.value if result.ok else np.nan for result in results],
+        dtype=float,
+    ).reshape(n_values.shape[0], trials)
+    if failures:
+        # partial results: median over the surviving trials per n; an n with
+        # no survivors yields 0.0, dropped by the positive filter below.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            rates = np.nanmedian(matrix, axis=1)
+        rates = np.nan_to_num(rates, nan=0.0)
+    else:
+        # bit-compatible with the historical full-success path
+        rates = np.median(matrix, axis=1)
     positive = rates > 0
     fit = None
     if int(positive.sum()) >= 2:
@@ -327,5 +387,6 @@ def sweep_capacity(
             digest=sweep.digest(),
             durations=[trial_result.duration for trial_result in results],
             stats=runner.last_stats,
+            status="partial" if failures else "completed",
         )
     return sweep

@@ -28,6 +28,7 @@ from ..core.capacity import (
 )
 from ..core.regimes import NetworkParameters
 from ..observability.log import get_logger
+from ..resilience import ResilienceConfig
 from ..utils.tables import render_table
 from .scaling import SweepResult, sweep_capacity
 
@@ -141,6 +142,7 @@ def measure_row(
     build_kwargs: Optional[Dict] = None,
     workers: Optional[int] = None,
     store=None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> SweepResult:
     """Run the capacity sweep for one Table-I row.
 
@@ -149,6 +151,8 @@ def measure_row(
     :class:`repro.parallel.TrialRunner`).  ``store`` makes the row's sweep
     resumable: journaled trials are replayed, fresh ones are journaled, and
     a provenance manifest is recorded (see :mod:`repro.store`).
+    ``resilience`` threads retry/fault-injection/partial-result handling
+    through to the sweep (see :func:`~.scaling.sweep_capacity`).
     """
     _log.info("table1: measuring row %r (scheme %s)", row.label, row.sweep_scheme)
     return sweep_capacity(
@@ -161,4 +165,5 @@ def measure_row(
         generic=row.use_generic_rate,
         workers=workers,
         store=store,
+        resilience=resilience,
     )

@@ -13,9 +13,10 @@ measurement substrate those runs report through:
   ``scripts/check_no_stray_prints.py``).
 - :mod:`repro.observability.events` -- typed telemetry events
   (``trial_started`` / ``trial_finished`` / ``trial_cached`` /
-  ``trial_failed``, ``sweep_progress``, ``slot_batch``,
-  ``journal_appended``, ``span``) plus the :class:`Telemetry` sink
-  protocol.  The process-wide current sink defaults to
+  ``trial_failed``, the resilience lifecycle ``trial_retried`` /
+  ``fault_injected`` / ``pool_rebuilt`` / ``degraded_to_serial``,
+  ``sweep_progress``, ``slot_batch``, ``journal_appended``, ``span``)
+  plus the :class:`Telemetry` sink protocol.  The process-wide current sink defaults to
   :class:`NullTelemetry` (zero overhead: instrumented hot paths check
   ``sink.enabled`` before building events) and is swapped with
   :func:`set_telemetry` / :func:`using_telemetry`.
@@ -34,8 +35,11 @@ emits as futures complete, so pool workers never touch the sink.
 
 from .events import (
     CompositeTelemetry,
+    DegradedToSerial,
+    FaultInjected,
     JournalAppended,
     NullTelemetry,
+    PoolRebuilt,
     RecordingTelemetry,
     SlotBatch,
     SpanFinished,
@@ -45,6 +49,7 @@ from .events import (
     TrialCached,
     TrialFailedEvent,
     TrialFinished,
+    TrialRetried,
     TrialStarted,
     get_telemetry,
     set_telemetry,
@@ -57,10 +62,13 @@ from .trace import JsonlTraceSink, open_trace
 
 __all__ = [
     "CompositeTelemetry",
+    "DegradedToSerial",
+    "FaultInjected",
     "JournalAppended",
     "JsonLogFormatter",
     "JsonlTraceSink",
     "NullTelemetry",
+    "PoolRebuilt",
     "ProgressRenderer",
     "RecordingTelemetry",
     "SlotBatch",
@@ -71,6 +79,7 @@ __all__ = [
     "TrialCached",
     "TrialFailedEvent",
     "TrialFinished",
+    "TrialRetried",
     "TrialStarted",
     "configure",
     "get_logger",

@@ -29,6 +29,10 @@ __all__ = [
     "TrialFinished",
     "TrialCached",
     "TrialFailedEvent",
+    "TrialRetried",
+    "FaultInjected",
+    "PoolRebuilt",
+    "DegradedToSerial",
     "SweepProgress",
     "SlotBatch",
     "JournalAppended",
@@ -101,6 +105,65 @@ class TrialFailedEvent(TelemetryEvent):
     message: str
     attempts: int
     elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class TrialRetried(TelemetryEvent):
+    """One failed attempt is being retried (``delay_seconds`` = backoff).
+
+    ``kind`` is the failure kind of the attempt being retried; the retry
+    itself surfaces later as ``trial_started`` with the next attempt
+    number.
+    """
+
+    EVENT: ClassVar[str] = "trial_retried"
+    index: int
+    attempt: int
+    kind: str
+    delay_seconds: float
+
+
+@dataclass(frozen=True)
+class FaultInjected(TelemetryEvent):
+    """The fault-injection harness armed one deterministic fault.
+
+    Emitted from the parent at submission (or journal) time, so chaos
+    traces record exactly which ``(trial, attempt)`` pairs were sabotaged.
+    ``kind`` is the *effective* fault (a ``kill`` downgrades to ``raise``
+    in inline mode, where there is no worker process to kill).
+    """
+
+    EVENT: ClassVar[str] = "fault_injected"
+    index: int
+    attempt: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class PoolRebuilt(TelemetryEvent):
+    """The worker pool broke and was rebuilt.
+
+    ``rebuilds`` counts rebuilds so far in this run; ``inflight`` is how
+    many trials died with the pool (each re-queued or failed).
+    """
+
+    EVENT: ClassVar[str] = "pool_rebuilt"
+    rebuilds: int
+    inflight: int
+
+
+@dataclass(frozen=True)
+class DegradedToSerial(TelemetryEvent):
+    """A crash storm was detected: the runner abandoned the worker pool.
+
+    ``quarantined`` lists the trial indices implicated in repeated crashes
+    (surfaced as ``kind="quarantined"`` errors); every other unfinished
+    trial continues inline in the parent process.
+    """
+
+    EVENT: ClassVar[str] = "degraded_to_serial"
+    rebuilds: int
+    quarantined: tuple
 
 
 @dataclass(frozen=True)

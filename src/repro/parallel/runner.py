@@ -14,20 +14,39 @@ panels, the convergence studies) is an average over independent trials.  The
   serial sweep exactly.
 - Results are returned ordered by trial index, not completion order.
 
-Fault handling (each mechanism is exercised by ``tests/test_trial_runner_faults.py``):
+Fault handling (each mechanism is exercised by
+``tests/test_trial_runner_faults.py`` and ``tests/test_resilience_faults.py``):
 
-- A trial that raises is retried once (configurable via ``retries``) and then
-  surfaced as a structured :class:`TrialError` with ``kind="exception"``.
+- A failing trial is retried under a configurable
+  :class:`~repro.resilience.RetryPolicy` (max attempts, exponential backoff
+  with deterministic per-trial jitter, retry-on predicates per error kind;
+  the legacy ``retries=N`` knob maps to ``max_attempts=N+1`` with no
+  backoff) and then surfaced as a structured :class:`TrialError`.
 - A per-trial ``timeout`` is enforced *inside* the worker with ``SIGALRM``
   (POSIX), so a stuck trial is interrupted without poisoning the pool;
   a second, harder deadline in the parent terminates the worker processes
-  if the alarm itself is ignored.  Either way the trial is retried once and
-  then reported with ``kind="timeout"``.
+  if the alarm itself is ignored.  Either way the trial is retried per the
+  policy and then reported with ``kind="timeout"``.
 - A worker killed mid-trial breaks the pool
   (:class:`~concurrent.futures.process.BrokenProcessPool`); the runner
-  rebuilds the pool, re-queues every in-flight trial (at most ``retries``
-  extra attempts each) and reports unrecoverable trials with
-  ``kind="worker-crash"`` instead of hanging.
+  rebuilds the pool, re-queues every in-flight trial and reports
+  unrecoverable trials with ``kind="worker-crash"`` instead of hanging.
+  A :class:`~repro.resilience.PoolSupervisor` watches the rebuild rate:
+  once a **crash storm** is detected (``max_rebuilds`` rebuilds inside
+  ``rebuild_window_seconds``), payloads implicated in repeated crashes are
+  quarantined (``kind="quarantined"``) and the remaining trials degrade
+  gracefully to inline serial execution instead of livelocking on
+  rebuilds -- emitting ``pool_rebuilt`` and ``degraded_to_serial``
+  telemetry along the way.
+- A ``validator`` runs in the parent on every fresh value: NaN/inf/negative
+  throughput becomes ``kind="invalid_result"`` instead of polluting sweep
+  aggregates.  A value the store journal refuses to serialize is surfaced
+  the same way; a journal *IO* error only degrades durability (logged,
+  value kept).
+- A :class:`~repro.resilience.FaultPlan` injects deterministic faults
+  (raise / hang / kill / NaN / journal-IO) keyed by ``(trial index,
+  attempt)`` for bit-reproducible chaos testing; each armed fault is
+  announced with a ``fault_injected`` event from the parent.
 
 The trial callable must be picklable (a module-level function) with
 signature ``trial_fn(rng, payload) -> value`` and the value must be
@@ -56,12 +75,15 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..observability import events as _events
 from ..observability.log import get_logger
+from ..resilience.faults import FaultPlan
+from ..resilience.retry import RetryPolicy
+from ..resilience.supervisor import PoolSupervisor
 
 __all__ = [
     "TrialError",
@@ -81,7 +103,9 @@ class TrialError:
 
     trial_index: int
     #: ``"exception"`` (trial raised), ``"timeout"`` (per-trial deadline
-    #: exceeded) or ``"worker-crash"`` (the worker process died).
+    #: exceeded), ``"worker-crash"`` (the worker process died),
+    #: ``"invalid_result"`` (the value failed validation or could not be
+    #: journaled) or ``"quarantined"`` (payload pulled after a crash storm).
     kind: str
     message: str
     #: Total attempts made (first run + retries).
@@ -138,6 +162,10 @@ class TrialStats:
     workers: Optional[int]
     #: Trials served from the cache instead of executed.
     cache_hits: int = 0
+    #: Worker-pool rebuilds forced by crashed workers or hard timeouts.
+    pool_rebuilds: int = 0
+    #: Whether a crash storm forced degradation to inline execution.
+    degraded: bool = False
 
     @property
     def cache_misses(self) -> int:
@@ -154,14 +182,20 @@ class TrialStats:
     def summary(self) -> str:
         """One-line human-readable digest."""
         mode = "inline" if self.workers is None else f"{self.workers} workers"
+        if self.degraded:
+            mode += ", degraded to serial"
         cache = (
             f" cache_hits={self.cache_hits}/{self.trials}"
             if self.cache_hits
             else ""
         )
+        rebuilds = (
+            f" pool_rebuilds={self.pool_rebuilds}" if self.pool_rebuilds else ""
+        )
         return (
             f"trials={self.trials} failures={self.failures} "
-            f"retries={self.retries}{cache} elapsed={self.elapsed_seconds:.2f}s "
+            f"retries={self.retries}{cache}{rebuilds} "
+            f"elapsed={self.elapsed_seconds:.2f}s "
             f"({self.trials_per_second:.1f} trials/s, {mode})"
         )
 
@@ -174,11 +208,16 @@ def _raise_trial_timeout(signum, frame):
     raise _TrialTimeout()
 
 
-def _execute_trial(trial_fn, index, seed_seq, payload, timeout):
+def _execute_trial(trial_fn, index, seed_seq, payload, timeout, inject=None):
     """Run one trial (worker side) and return a structured outcome tuple.
 
     Exceptions are converted to tuples rather than raised so arbitrary
     (possibly unpicklable) exception types never cross the process boundary.
+
+    ``inject`` applies one deterministic fault (see
+    :class:`repro.resilience.FaultPlan`): ``raise`` / ``hang`` / ``kill``
+    replace the trial body; ``nan`` short-circuits to a NaN value that the
+    parent-side validation boundary will reject.
     """
     start = time.perf_counter()
     previous_handler = None
@@ -187,6 +226,15 @@ def _execute_trial(trial_fn, index, seed_seq, payload, timeout):
         signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         rng = np.random.default_rng(seed_seq)
+        if inject == "raise":
+            raise RuntimeError(f"injected fault: trial {index} raises")
+        if inject == "hang":
+            # sleep far past the deadline; the in-worker alarm interrupts it
+            time.sleep((timeout or 0.0) + 3600.0)
+        if inject == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if inject == "nan":
+            return ("ok", index, float("nan"), time.perf_counter() - start, "")
         value = trial_fn(rng, payload)
         return ("ok", index, value, time.perf_counter() - start, "")
     except _TrialTimeout:
@@ -251,6 +299,36 @@ class _Emitter:
         if self._enabled:
             self._sink.emit(_events.TrialStarted(index=index, attempt=attempt))
 
+    def fault(self, index: int, attempt: int, kind: str) -> None:
+        """Announce one armed fault (parent side, at submission time)."""
+        if self._enabled:
+            self._sink.emit(
+                _events.FaultInjected(index=index, attempt=attempt, kind=kind)
+            )
+
+    def retried(self, index: int, attempt: int, kind: str, delay: float) -> None:
+        """Announce one retry decision (before the backoff sleep)."""
+        if self._enabled:
+            self._sink.emit(
+                _events.TrialRetried(
+                    index=index, attempt=attempt, kind=kind, delay_seconds=delay
+                )
+            )
+
+    def pool_rebuilt(self, rebuilds: int, inflight: int) -> None:
+        if self._enabled:
+            self._sink.emit(
+                _events.PoolRebuilt(rebuilds=rebuilds, inflight=inflight)
+            )
+
+    def degraded(self, rebuilds: int, quarantined) -> None:
+        if self._enabled:
+            self._sink.emit(
+                _events.DegradedToSerial(
+                    rebuilds=rebuilds, quarantined=tuple(quarantined)
+                )
+            )
+
     def cache_hit(self, result: "TrialResult") -> None:
         self.done += 1
         self.cached += 1
@@ -305,24 +383,46 @@ class TrialRunner:
     timeout:
         Optional per-trial wall-clock deadline in seconds.
     retries:
-        Extra attempts granted to a failing trial before its error is
-        surfaced (default 1, i.e. two attempts total).
+        Legacy knob: extra attempts granted to a failing trial (default 1,
+        i.e. two attempts total).  Ignored when ``retry_policy`` is given.
     chunk_size:
         In pool mode at most ``workers * chunk_size`` trials are in flight
         at once, bounding memory for very long sweeps.
     telemetry:
         Optional :class:`~repro.observability.events.Telemetry` sink for
         the trial lifecycle events (``trial_started`` / ``trial_finished``
-        / ``trial_cached`` / ``trial_failed`` and ``sweep_progress``).
-        ``None`` uses the process-wide current sink
+        / ``trial_cached`` / ``trial_failed`` / ``trial_retried`` /
+        ``fault_injected`` / ``pool_rebuilt`` / ``degraded_to_serial`` and
+        ``sweep_progress``).  ``None`` uses the process-wide current sink
         (:func:`~repro.observability.events.get_telemetry`), which is a
         no-op unless the CLI (or a test) installed one.  Events are
         emitted from the parent process only.
+    retry_policy:
+        A :class:`~repro.resilience.RetryPolicy` governing attempts,
+        backoff and per-kind retry predicates; supersedes ``retries``.
+    fault_plan:
+        A :class:`~repro.resilience.FaultPlan` of deterministic faults
+        keyed by ``(trial index, attempt)``.  ``hang`` faults require a
+        ``timeout``.
+    validator:
+        Optional parent-side ``validator(value) -> Optional[str]`` applied
+        to every fresh trial value; a non-``None`` message fails the
+        attempt with ``kind="invalid_result"`` (retryable per the policy).
+    max_rebuilds / rebuild_window_seconds:
+        Crash-storm threshold: after ``max_rebuilds`` pool rebuilds within
+        the window, crash-implicated payloads are quarantined and the run
+        degrades to inline serial execution.
     """
 
     #: Extra parent-side slack (seconds) on top of ``timeout`` before the
     #: pool is forcibly recycled because a worker ignored its alarm.
     HARD_TIMEOUT_GRACE = 5.0
+
+    #: Crashes a single trial must accumulate (across pool rebuilds) to be
+    #: quarantined when a crash storm is declared.  Two crashes separate a
+    #: systematically crashing payload from an innocent bystander that was
+    #: merely in flight when someone else's worker died.
+    QUARANTINE_CRASHES = 2
 
     def __init__(
         self,
@@ -332,6 +432,11 @@ class TrialRunner:
         retries: int = 1,
         chunk_size: int = 4,
         telemetry: Optional[_events.Telemetry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        validator: Optional[Callable[[Any], Optional[str]]] = None,
+        max_rebuilds: int = 3,
+        rebuild_window_seconds: float = 60.0,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1 or None, got {workers}")
@@ -341,18 +446,36 @@ class TrialRunner:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if fault_plan is not None and fault_plan.has_hang and timeout is None:
+            raise ValueError(
+                "hang faults require a timeout (they sleep past the deadline; "
+                "without one the sweep would genuinely hang)"
+            )
         self._trial_fn = trial_fn
         self._workers = workers
         self._timeout = timeout
-        self._retries = retries
+        self._policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy.from_retries(retries)
+        )
         self._chunk_size = chunk_size
         self._telemetry = telemetry
+        self._fault_plan = fault_plan
+        self._validator = validator
+        self._max_rebuilds = max_rebuilds
+        self._rebuild_window = rebuild_window_seconds
         self._last_stats: Optional[TrialStats] = None
 
     @property
     def workers(self) -> Optional[int]:
         """Configured worker count (``None`` = inline)."""
         return self._workers
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The effective retry policy."""
+        return self._policy
 
     @property
     def last_stats(self) -> Optional[TrialStats]:
@@ -430,6 +553,8 @@ class TrialRunner:
                     emitter.cache_hit(results[index])
         cache_hits = sum(1 for r in results if r is not None)
         remaining = [index for index in order if results[index] is None]
+        pool_rebuilds = 0
+        degraded = False
         if remaining:
             seeds = np.random.SeedSequence(seed).spawn(count)
             if self._workers is None:
@@ -437,7 +562,7 @@ class TrialRunner:
                     payloads, seeds, remaining, results, cache, keys, emitter
                 )
             else:
-                self._run_pool(
+                pool_rebuilds, degraded = self._run_pool(
                     payloads, seeds, remaining, results, cache, keys, emitter
                 )
         elapsed = time.perf_counter() - start
@@ -450,6 +575,8 @@ class TrialRunner:
             elapsed_seconds=elapsed,
             workers=self._workers,
             cache_hits=cache_hits,
+            pool_rebuilds=pool_rebuilds,
+            degraded=degraded,
         )
         _log.debug("run complete: %s", self._last_stats.summary())
         return results  # type: ignore[return-value]
@@ -469,10 +596,56 @@ class TrialRunner:
         return [result.value for result in results]
 
     # ------------------------------------------------------------------
+    def _fault_for(
+        self, index: int, attempt: int, inline: bool
+    ) -> Optional[str]:
+        """The effective fault to inject into this attempt, if any.
+
+        ``kill`` downgrades to ``raise`` inline: there is no worker process
+        to kill, and SIGKILLing the parent would take the sweep with it.
+        """
+        if self._fault_plan is None:
+            return None
+        fault = self._fault_plan.fault_for(index, attempt)
+        if fault == "io":
+            # journal faults fire at cache.put time, not in the trial body
+            return None
+        if fault == "kill" and inline:
+            _log.debug(
+                "downgrading kill fault on trial %d to raise (inline mode)",
+                index,
+            )
+            return "raise"
+        return fault
+
+    def _classify(self, outcome) -> Tuple[Optional[str], str]:
+        """``(failure kind, message)`` of a worker outcome -- ``(None, "")``
+        for a success, applying parent-side result validation."""
+        if outcome[0] == "ok":
+            if self._validator is not None:
+                message = self._validator(outcome[2])
+                if message is not None:
+                    return "invalid_result", message
+            return None, ""
+        return outcome[0], outcome[3]
+
     def _finish(self, outcome, attempts) -> TrialResult:
         """Convert a worker outcome tuple into a TrialResult."""
         status, index = outcome[0], outcome[1]
         if status == "ok":
+            kind, message = self._classify(outcome)
+            if kind is not None:
+                error = TrialError(
+                    trial_index=index,
+                    kind=kind,
+                    message=message,
+                    attempts=attempts,
+                    elapsed_seconds=float(outcome[3]),
+                )
+                return TrialResult(
+                    index=index, value=None, attempts=attempts, duration=0.0,
+                    error=error,
+                )
             return TrialResult(
                 index=index,
                 value=outcome[2],
@@ -491,37 +664,99 @@ class TrialRunner:
         )
         return TrialResult(index=index, value=None, attempts=attempts, duration=0.0, error=error)
 
-    @staticmethod
-    def _journal(cache, keys, result: TrialResult) -> None:
-        """Durably record one freshly-computed success in the trial cache."""
+    def _journal(self, cache, keys, result: TrialResult, emitter) -> TrialResult:
+        """Durably record one fresh success in the trial cache.
+
+        Returns the result to surface: unchanged on success; converted to
+        ``kind="invalid_result"`` when the store refuses the *value*
+        (``ValueError``, e.g. a non-finite float the journal cannot
+        encode); unchanged-but-logged when the journal *write* fails with
+        an ``OSError`` -- durability degrades, the sweep keeps its value.
+        """
         if cache is None or keys is None or not result.ok:
-            return
+            return result
         key = keys[result.index]
-        if key is not None:
+        if key is None:
+            return result
+        try:
+            if (
+                self._fault_plan is not None
+                and self._fault_plan.fault_for(result.index, result.attempts)
+                == "io"
+            ):
+                emitter.fault(result.index, result.attempts, "io")
+                raise OSError(
+                    f"injected fault: journal append for trial {result.index}"
+                )
             cache.put(key, result.value, result.duration)
+        except ValueError as exc:
+            error = TrialError(
+                trial_index=result.index,
+                kind="invalid_result",
+                message=f"value could not be journaled: {exc}",
+                attempts=result.attempts,
+                elapsed_seconds=result.duration,
+            )
+            return TrialResult(
+                index=result.index, value=None, attempts=result.attempts,
+                duration=0.0, error=error,
+            )
+        except OSError as exc:
+            _log.warning(
+                "journal append failed for trial %d (%s: %s); the value is "
+                "kept in memory but will not survive an interruption",
+                result.index,
+                type(exc).__name__,
+                exc,
+            )
+        return result
 
     def _run_inline(
-        self, payloads, seeds, order, results, cache, keys, emitter
+        self, payloads, seeds, order, results, cache, keys, emitter,
+        attempts: Optional[List[int]] = None,
     ) -> None:
+        """Execute ``order`` serially in this process.
+
+        ``attempts`` carries per-trial attempt counts already consumed by a
+        degraded pool run, so retry budgets span the degradation boundary.
+        """
+        if attempts is None:
+            attempts = [0] * len(payloads)
         for index in order:
-            attempts = 0
             while True:
-                attempts += 1
-                emitter.started(index, attempts)
+                attempts[index] += 1
+                fault = self._fault_for(index, attempts[index], inline=True)
+                emitter.started(index, attempts[index])
+                if fault is not None:
+                    emitter.fault(index, attempts[index], fault)
                 outcome = _execute_trial(
-                    self._trial_fn, index, seeds[index], payloads[index], self._timeout
+                    self._trial_fn, index, seeds[index], payloads[index],
+                    self._timeout, fault,
                 )
-                if outcome[0] == "ok" or attempts > self._retries:
-                    results[index] = self._finish(outcome, attempts)
-                    self._journal(cache, keys, results[index])
-                    emitter.finished(results[index])
-                    break
+                kind, _message = self._classify(outcome)
+                if kind is not None and self._policy.should_retry(
+                    kind, attempts[index]
+                ):
+                    delay = self._policy.delay(attempts[index], seeds[index])
+                    emitter.retried(index, attempts[index], kind, delay)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                result = self._finish(outcome, attempts[index])
+                result = self._journal(cache, keys, result, emitter)
+                results[index] = result
+                emitter.finished(result)
+                break
 
     def _run_pool(
         self, payloads, seeds, order, results, cache, keys, emitter
-    ) -> None:
-        pending = deque(order)
+    ) -> Tuple[int, bool]:
+        """Execute ``order`` over a worker pool; returns
+        ``(pool rebuilds, degraded to serial)``."""
+        pending: deque = deque((index, 0.0) for index in order)
         attempts = [0] * len(payloads)
+        crash_counts: Dict[int, int] = {}
+        supervisor = PoolSupervisor(self._max_rebuilds, self._rebuild_window)
         window = self._workers * self._chunk_size
         executor = ProcessPoolExecutor(max_workers=self._workers)
         # trial indices force-killed by the parent-side hard deadline: their
@@ -530,10 +765,18 @@ class TrialRunner:
         try:
             inflight = {}  # future -> (index, deadline or None)
             while pending or inflight:
+                deferred = []
+                now = time.monotonic()
                 while pending and len(inflight) < window:
-                    index = pending.popleft()
+                    index, ready = pending.popleft()
+                    if ready > now:
+                        deferred.append((index, ready))
+                        continue
                     attempts[index] += 1
+                    fault = self._fault_for(index, attempts[index], inline=False)
                     emitter.started(index, attempts[index])
+                    if fault is not None:
+                        emitter.fault(index, attempts[index], fault)
                     future = executor.submit(
                         _execute_trial,
                         self._trial_fn,
@@ -541,13 +784,21 @@ class TrialRunner:
                         seeds[index],
                         payloads[index],
                         self._timeout,
+                        fault,
                     )
                     deadline = (
-                        time.monotonic() + self._timeout + self.HARD_TIMEOUT_GRACE
+                        now + self._timeout + self.HARD_TIMEOUT_GRACE
                         if self._timeout is not None
                         else None
                     )
                     inflight[future] = (index, deadline)
+                pending.extend(deferred)
+                if not inflight:
+                    # everything pending is backing off; nap until the
+                    # earliest retry becomes ready
+                    wake = min(ready for _index, ready in pending)
+                    time.sleep(max(wake - time.monotonic(), 0.0))
+                    continue
                 done, _ = wait(
                     list(inflight), timeout=0.05, return_when=FIRST_COMPLETED
                 )
@@ -558,16 +809,24 @@ class TrialRunner:
                         outcome = future.result()
                     except BrokenProcessPool:
                         broken = True
+                        crash_counts[index] = crash_counts.get(index, 0) + 1
                         self._record_crash(
-                            results, pending, attempts, index, hard_timed_out, emitter
+                            results, pending, attempts, seeds, index,
+                            hard_timed_out, emitter,
                         )
                         continue
-                    if outcome[0] == "ok" or attempts[index] > self._retries:
-                        results[index] = self._finish(outcome, attempts[index])
-                        self._journal(cache, keys, results[index])
-                        emitter.finished(results[index])
+                    kind, _message = self._classify(outcome)
+                    if kind is not None and self._policy.should_retry(
+                        kind, attempts[index]
+                    ):
+                        delay = self._policy.delay(attempts[index], seeds[index])
+                        emitter.retried(index, attempts[index], kind, delay)
+                        pending.append((index, time.monotonic() + delay))
                     else:
-                        pending.append(index)
+                        result = self._finish(outcome, attempts[index])
+                        result = self._journal(cache, keys, result, emitter)
+                        results[index] = result
+                        emitter.finished(result)
                 if not done and self._deadline_exceeded(inflight):
                     # A worker ignored its in-worker alarm; terminate the
                     # pool's processes so the broken-pool path recycles it.
@@ -584,31 +843,98 @@ class TrialRunner:
                         "rebuilding the pool",
                         len(inflight),
                     )
+                    died = len(inflight)
                     for future, (index, _deadline) in inflight.items():
+                        crash_counts[index] = crash_counts.get(index, 0) + 1
                         self._record_crash(
-                            results, pending, attempts, index, hard_timed_out, emitter
+                            results, pending, attempts, seeds, index,
+                            hard_timed_out, emitter,
                         )
                     inflight.clear()
                     executor.shutdown(wait=False, cancel_futures=True)
                     executor = ProcessPoolExecutor(max_workers=self._workers)
+                    storm = supervisor.record_rebuild()
+                    emitter.pool_rebuilt(supervisor.rebuilds, died)
+                    if storm:
+                        self._degrade_to_serial(
+                            payloads, seeds, pending, attempts, crash_counts,
+                            results, cache, keys, emitter, supervisor,
+                        )
+                        return supervisor.rebuilds, True
+            return supervisor.rebuilds, False
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
 
+    def _degrade_to_serial(
+        self, payloads, seeds, pending, attempts, crash_counts, results,
+        cache, keys, emitter, supervisor,
+    ) -> None:
+        """Crash storm: quarantine repeat-crashers, run the rest inline.
+
+        A payload that crashed the pool :data:`QUARANTINE_CRASHES` or more
+        times is surfaced as ``kind="quarantined"`` (running it inline
+        would risk taking the parent down with it); every other unfinished
+        trial executes serially in the parent, where a broken pool cannot
+        hurt it.
+        """
+        remaining = [index for index, _ready in pending]
+        quarantined = sorted(
+            index
+            for index in remaining
+            if crash_counts.get(index, 0) >= self.QUARANTINE_CRASHES
+        )
+        survivors = [index for index in remaining if index not in quarantined]
+        _log.warning(
+            "crash storm: %d pool rebuild(s) within %.0f s; quarantining "
+            "%d payload(s) %s and degrading %d remaining trial(s) to inline "
+            "serial execution",
+            supervisor.rebuilds,
+            supervisor.window_seconds,
+            len(quarantined),
+            quarantined,
+            len(survivors),
+        )
+        emitter.degraded(supervisor.rebuilds, quarantined)
+        for index in quarantined:
+            error = TrialError(
+                trial_index=index,
+                kind="quarantined",
+                message=(
+                    f"payload crashed {crash_counts[index]} worker(s); "
+                    f"quarantined after {supervisor.rebuilds} pool rebuild(s) "
+                    "(crash storm)"
+                ),
+                attempts=attempts[index],
+            )
+            results[index] = TrialResult(
+                index=index, value=None, attempts=attempts[index],
+                duration=0.0, error=error,
+            )
+            emitter.finished(results[index])
+        self._run_inline(
+            payloads, seeds, survivors, results, cache, keys, emitter,
+            attempts=attempts,
+        )
+
     def _record_crash(
-        self, results, pending, attempts, index, hard_timed_out, emitter
+        self, results, pending, attempts, seeds, index, hard_timed_out, emitter
     ):
         """Re-queue a trial whose worker died, or surface the error."""
-        if attempts[index] <= self._retries:
-            pending.append(index)
+        kind = "timeout" if index in hard_timed_out else "worker-crash"
+        hard_timed_out.discard(index)  # one crash consumes one timeout flag
+        if self._policy.should_retry(kind, attempts[index]):
+            delay = self._policy.delay(attempts[index], seeds[index])
+            emitter.retried(index, attempts[index], kind, delay)
+            pending.append((index, time.monotonic() + delay))
             return
         if index in hard_timed_out:
-            kind, message = "timeout", (
+            message = (
                 f"trial ignored its {self._timeout} s alarm and was terminated"
             )
             # the worker burned the full deadline before the parent shot it
             elapsed = float(self._timeout) + self.HARD_TIMEOUT_GRACE
         else:
-            kind, message = "worker-crash", "worker process died mid-trial"
+            message = "worker process died mid-trial"
             elapsed = 0.0
         error = TrialError(
             trial_index=index,

@@ -1,0 +1,72 @@
+"""Graceful drain: turn SIGINT/SIGTERM into a resumable interruption.
+
+A killed sweep is not a lost sweep: every completed trial is already
+journaled by the store, so all an interrupt has to do is (a) stop cleanly
+instead of dying mid-write and (b) leave a ``status="interrupted"`` run
+manifest behind so ``runs list`` shows what happened and the re-invocation
+knows it is a resume.  :func:`interruptible` converts SIGTERM (the signal
+batch schedulers send) into :class:`SweepInterrupted` -- a
+``KeyboardInterrupt`` subclass, so the same ``except KeyboardInterrupt``
+drain path handles Ctrl-C and SIGTERM identically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import threading
+from typing import Iterator, Tuple
+
+from ..observability.log import get_logger
+
+__all__ = ["SweepInterrupted", "interruptible"]
+
+_log = get_logger(__name__)
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """A sweep was interrupted by a signal and drained gracefully.
+
+    Subclasses :class:`KeyboardInterrupt` deliberately: drivers drain on
+    ``except KeyboardInterrupt`` and generic ``except Exception`` recovery
+    code cannot swallow it.
+    """
+
+
+@contextlib.contextmanager
+def interruptible(
+    signals: Tuple[int, ...] = (signal.SIGTERM,),
+) -> Iterator[None]:
+    """Convert the given signals into :class:`SweepInterrupted` for the
+    duration of the block.
+
+    SIGINT already raises :class:`KeyboardInterrupt` by default, so only
+    SIGTERM needs converting.  Outside the main thread (where installing
+    handlers is illegal) this is a documented no-op -- the sweep then only
+    drains on SIGINT.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    owner_pid = os.getpid()
+
+    def _raise_interrupted(signum, frame):
+        # forked pool workers inherit this handler; a terminated worker
+        # must just die, not impersonate the parent's drain
+        if os.getpid() != owner_pid:
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        _log.warning("received signal %d; draining sweep", signum)
+        raise SweepInterrupted(f"received signal {signum}")
+
+    previous = {}
+    for signum in signals:
+        previous[signum] = signal.signal(signum, _raise_interrupted)
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

@@ -26,7 +26,7 @@ Layers:
 
 from .keys import TrialSeed, canonical_json, content_digest, trial_key
 from .provenance import collect_provenance
-from .runstore import CachedTrial, RunStore, open_store
+from .runstore import CachedTrial, GCStats, RunStore, UnserializableValue, open_store
 from .serialize import (
     SCHEMA_VERSION,
     from_jsonable,
@@ -38,8 +38,10 @@ from .serialize import (
 __all__ = [
     "SCHEMA_VERSION",
     "CachedTrial",
+    "GCStats",
     "RunStore",
     "TrialSeed",
+    "UnserializableValue",
     "canonical_json",
     "collect_provenance",
     "content_digest",

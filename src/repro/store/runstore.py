@@ -4,17 +4,23 @@ Layout of a store directory::
 
     <root>/
         trials.jsonl        append-only journal, one completed trial per line
+        journal.corrupt     quarantine sidecar: unparseable journal lines,
+                            moved here on load for post-mortem inspection
         runs/<run_id>.json  one manifest per recorded run (provenance,
-                            parameters, trial keys, per-trial timing, digest)
+                            parameters, trial keys, per-trial timing, digest,
+                            completion status)
 
 Durability model
 ----------------
 The journal is strictly append-only and every :meth:`RunStore.put` writes a
 single complete line followed by ``flush`` + ``fsync``.  A process killed
 mid-write can therefore leave at most one truncated line at the *end* of the
-file; the loader skips any line that fails to parse (truncated or corrupted)
-and keeps everything else, so an interrupted sweep resumes from exactly the
-set of trials whose writes completed.  Manifests are written to a temporary
+file; the loader skips any line that fails to parse (truncated or
+corrupted), quarantining it to the ``journal.corrupt`` sidecar, and keeps
+everything else, so an interrupted sweep resumes from exactly the set of
+trials whose writes completed.  A value the strict encoder refuses (e.g. a
+raw non-finite duration) is journaled as a structured *failure record*
+rather than crashing the sweep -- see :meth:`RunStore.put`.  Manifests are written to a temporary
 file and atomically ``os.replace``-d into place, so a manifest is either
 absent or complete -- never half-written.
 
@@ -28,6 +34,7 @@ cache instead of decoding stale shapes.
 from __future__ import annotations
 
 import json
+import math
 import os
 import pathlib
 import time
@@ -40,9 +47,32 @@ from ..observability.log import get_logger
 from .provenance import collect_provenance
 from .serialize import SCHEMA_VERSION, from_jsonable, to_jsonable
 
-__all__ = ["CachedTrial", "GCStats", "RunStore", "open_store"]
+__all__ = [
+    "CachedTrial",
+    "GCStats",
+    "RunStore",
+    "UnserializableValue",
+    "open_store",
+]
 
 _log = get_logger(__name__)
+
+
+class UnserializableValue(ValueError):
+    """A trial value (or its timing) could not be journaled as JSON.
+
+    Raised by :meth:`RunStore.put` *after* a structured failure record has
+    been appended in the value's place, so the journal keeps an auditable
+    trace of the refusal.  The runner converts this into a
+    ``kind="invalid_result"`` :class:`~repro.parallel.TrialError` instead of
+    letting one bad float crash the whole sweep.
+    """
+
+    def __init__(self, key: str, message: str):
+        super().__init__(
+            f"value for key {key} could not be serialized: {message}"
+        )
+        self.key = key
 
 
 @dataclass(frozen=True)
@@ -62,14 +92,23 @@ class GCStats:
     runs_removed: int
     entries_kept: int
     entries_dropped: int
+    #: Corrupt journal lines moved to the ``journal.corrupt`` sidecar
+    #: during this pass (already counted in ``entries_dropped``).
+    corrupt_quarantined: int = 0
 
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        text = (
             f"removed {self.runs_removed} run manifest(s); journal: "
             f"{self.entries_kept} entr{'y' if self.entries_kept == 1 else 'ies'} "
             f"kept, {self.entries_dropped} dropped"
         )
+        if self.corrupt_quarantined:
+            text += (
+                f" ({self.corrupt_quarantined} corrupt line(s) quarantined "
+                "to journal.corrupt)"
+            )
+        return text
 
 
 class RunStore:
@@ -87,6 +126,7 @@ class RunStore:
     """
 
     JOURNAL_NAME = "trials.jsonl"
+    CORRUPT_NAME = "journal.corrupt"
     RUNS_DIR = "runs"
 
     def __init__(self, root: Union[str, pathlib.Path], use_cache: bool = True):
@@ -96,6 +136,7 @@ class RunStore:
         (self.root / self.RUNS_DIR).mkdir(exist_ok=True)
         self._index: Optional[Dict[str, CachedTrial]] = None
         self._skipped_lines = 0
+        self._last_quarantined = 0
         self._journal_handle: Optional[IO[str]] = None
 
     # ------------------------------------------------------------------
@@ -107,10 +148,21 @@ class RunStore:
         return self.root / self.JOURNAL_NAME
 
     @property
+    def corrupt_path(self) -> pathlib.Path:
+        """Path of the quarantine sidecar for unparseable journal lines."""
+        return self.root / self.CORRUPT_NAME
+
+    @property
     def skipped_lines(self) -> int:
         """Journal lines dropped on the most recent load (corrupt/stale)."""
         self._ensure_index()
         return self._skipped_lines
+
+    @property
+    def quarantined_lines(self) -> int:
+        """Corrupt lines moved to the sidecar on the most recent load."""
+        self._ensure_index()
+        return self._last_quarantined
 
     def get(self, key: str) -> Optional[CachedTrial]:
         """The cached trial for ``key``, or ``None`` (always ``None`` when
@@ -123,19 +175,42 @@ class RunStore:
     def put(self, key: str, value: Any, duration: float) -> None:
         """Durably journal one completed trial (single atomic-enough line:
         complete-or-truncated, never interleaved -- the runner journals from
-        the parent process only)."""
-        record = {
-            "schema": SCHEMA_VERSION,
-            "key": key,
-            "duration": float(duration),
-            "value": to_jsonable(value),
-        }
-        line = json.dumps(record, separators=(",", ":"), allow_nan=False)
-        if self._journal_handle is None:
-            self._journal_handle = open(self.journal_path, "a", encoding="utf-8")
-        self._journal_handle.write(line + "\n")
-        self._journal_handle.flush()
-        os.fsync(self._journal_handle.fileno())
+        the parent process only).
+
+        A value (or duration) the journal cannot represent -- an unregistered
+        type, or a raw non-finite float the strict ``allow_nan=False``
+        encoder rejects -- does **not** crash the sweep: a structured failure
+        record is appended in its place (auditable, skipped by the loader)
+        and :class:`UnserializableValue` is raised for the runner to convert
+        into a per-trial ``invalid_result`` error.
+        """
+        try:
+            record = {
+                "schema": SCHEMA_VERSION,
+                "key": key,
+                "duration": float(duration),
+                "value": to_jsonable(value),
+            }
+            line = json.dumps(record, separators=(",", ":"), allow_nan=False)
+        except (TypeError, ValueError) as exc:
+            failure = {
+                "schema": SCHEMA_VERSION,
+                "key": key,
+                "error": "unserializable-value",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+            self._append_line(
+                json.dumps(failure, separators=(",", ":"), allow_nan=False)
+            )
+            _log.warning(
+                "journaled failure record for key %s instead of its value "
+                "(%s: %s)",
+                key,
+                type(exc).__name__,
+                exc,
+            )
+            raise UnserializableValue(key, f"{type(exc).__name__}: {exc}") from exc
+        self._append_line(line)
         sink = get_telemetry()
         if sink.enabled:
             sink.emit(
@@ -146,6 +221,14 @@ class RunStore:
         if self._index is not None:
             self._index[key] = CachedTrial(key=key, value=from_jsonable(
                 json.loads(line)["value"]), duration=float(duration))
+
+    def _append_line(self, line: str) -> None:
+        """Append one complete line to the journal (flush + fsync)."""
+        if self._journal_handle is None:
+            self._journal_handle = open(self.journal_path, "a", encoding="utf-8")
+        self._journal_handle.write(line + "\n")
+        self._journal_handle.flush()
+        os.fsync(self._journal_handle.fileno())
 
     def close(self) -> None:
         """Close the journal append handle (reopened lazily on demand)."""
@@ -173,6 +256,8 @@ class RunStore:
     def _load_journal(self) -> tuple:
         index: Dict[str, CachedTrial] = {}
         skipped = 0
+        corrupt: List[str] = []
+        self._last_quarantined = 0
         if not self.journal_path.exists():
             return index, skipped
         with open(self.journal_path, "r", encoding="utf-8") as handle:
@@ -182,7 +267,16 @@ class RunStore:
                     continue
                 try:
                     record = json.loads(line)
+                    if not isinstance(record, dict):
+                        raise ValueError("journal line is not an object")
                     if record.get("schema") != SCHEMA_VERSION:
+                        # stale schema: expected after a version bump, not
+                        # corruption -- dropped but not quarantined
+                        skipped += 1
+                        continue
+                    if record.get("error"):
+                        # structured failure record left by put(): the trial
+                        # produced an unserializable value; nothing to cache.
                         skipped += 1
                         continue
                     key = record["key"]
@@ -193,18 +287,47 @@ class RunStore:
                     )
                 except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                     # truncated tail (killed mid-write) or bit rot: skip the
-                    # line; the owning trial simply reruns.
+                    # line (the owning trial simply reruns) and quarantine it
+                    # to the sidecar for post-mortem inspection.
                     skipped += 1
+                    corrupt.append(line)
                     continue
                 index[key] = trial  # duplicate keys: last write wins
+        self._last_quarantined = self._quarantine(corrupt)
         if skipped:
             _log.warning(
-                "skipped %d corrupt or stale-schema line(s) loading journal "
-                "%s (the owning trials will simply rerun)",
+                "skipped %d corrupt, stale-schema or failure-record line(s) "
+                "loading journal %s (%d quarantined to %s; the owning trials "
+                "will simply rerun)",
                 skipped,
                 self.journal_path,
+                self._last_quarantined,
+                self.corrupt_path.name,
             )
         return index, skipped
+
+    def _quarantine(self, lines: Sequence[str]) -> int:
+        """Append corrupt journal lines to the sidecar, deduplicated by
+        content so repeated loads do not grow it; returns the number of
+        *fresh* lines written."""
+        if not lines:
+            return 0
+        existing = set()
+        if self.corrupt_path.exists():
+            with open(self.corrupt_path, "r", encoding="utf-8") as handle:
+                existing = {line.rstrip("\n") for line in handle}
+        fresh = []
+        for line in lines:
+            if line not in existing:
+                existing.add(line)
+                fresh.append(line)
+        if fresh:
+            with open(self.corrupt_path, "a", encoding="utf-8") as handle:
+                for line in fresh:
+                    handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        return len(fresh)
 
     def __len__(self) -> int:
         self._ensure_index()
@@ -222,17 +345,28 @@ class RunStore:
         digest: Optional[str] = None,
         durations: Optional[Sequence[float]] = None,
         stats: Any = None,
+        status: str = "completed",
     ) -> str:
         """Write one run manifest (atomic) and return its ``run_id``.
 
         ``stats`` accepts a :class:`repro.parallel.TrialStats`;
         ``durations`` are the per-trial wall-clock seconds (0 for cached
-        trials), aligned with ``trial_keys``.
+        trials), aligned with ``trial_keys``.  ``status`` records how the
+        run ended: ``"completed"``, ``"partial"`` (failures tolerated under
+        ``min_success_fraction``) or ``"interrupted"`` (drained on
+        SIGINT/SIGTERM; the journaled trials make the re-invocation a
+        resume).  Non-finite durations are recorded as 0.0 -- the manifest
+        is strict JSON and must never be the thing that crashes a drain.
         """
         run_id = time.strftime("%Y%m%d-%H%M%S") + "-" + uuid.uuid4().hex[:8]
+        clean_durations = []
+        for duration in durations or []:
+            duration = float(duration)
+            clean_durations.append(duration if math.isfinite(duration) else 0.0)
         manifest = {
             "run_id": run_id,
             "command": command,
+            "status": status,
             "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             # sub-second tiebreak so list_runs() order is well defined even
             # for manifests recorded within the same wall-clock second
@@ -242,7 +376,7 @@ class RunStore:
             "config": to_jsonable(config or {}),
             "trial_keys": list(trial_keys or []),
             "digest": digest,
-            "durations": [float(d) for d in (durations or [])],
+            "durations": clean_durations,
         }
         if stats is not None:
             manifest["stats"] = {
@@ -252,6 +386,8 @@ class RunStore:
                 "cache_hits": getattr(stats, "cache_hits", 0),
                 "elapsed_seconds": stats.elapsed_seconds,
                 "workers": stats.workers,
+                "pool_rebuilds": getattr(stats, "pool_rebuilds", 0),
+                "degraded": getattr(stats, "degraded", False),
             }
         path = self.root / self.RUNS_DIR / f"{run_id}.json"
         tmp = path.with_suffix(".json.tmp")
@@ -300,12 +436,13 @@ class RunStore:
         """Prune old manifests and compact the journal.
 
         ``keep`` retains only the newest ``keep`` manifests.  Compaction
-        always drops corrupt and stale-schema lines and collapses duplicate
-        keys; ``drop_orphans=True`` additionally drops entries referenced by
-        no remaining manifest.  (Orphans are *kept* by default: a killed run
-        writes no manifest, and its journaled trials are exactly what makes
-        the re-invocation resumable.)  The compacted journal is swapped in
-        atomically.
+        always drops corrupt lines (quarantining them to the
+        ``journal.corrupt`` sidecar), stale-schema lines and failure
+        records, and collapses duplicate keys; ``drop_orphans=True``
+        additionally drops entries referenced by no remaining manifest.
+        (Orphans are *kept* by default: a killed run writes no manifest,
+        and its journaled trials are exactly what makes the re-invocation
+        resumable.)  The compacted journal is swapped in atomically.
         """
         runs = self.list_runs()
         removed = 0
@@ -352,9 +489,13 @@ class RunStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, self.journal_path)
+        quarantined = self._last_quarantined
         self._index = None
         stats = GCStats(
-            runs_removed=removed, entries_kept=len(kept), entries_dropped=dropped
+            runs_removed=removed,
+            entries_kept=len(kept),
+            entries_dropped=dropped,
+            corrupt_quarantined=quarantined,
         )
         _log.info("gc %s: %s", self.root, stats.summary())
         return stats

@@ -1,0 +1,134 @@
+"""Store-side resilience: journal failure records, corrupt-line quarantine,
+gc compaction accounting and run-manifest status/duration sanitisation."""
+
+import json
+import math
+
+import pytest
+
+from repro.store import GCStats, RunStore, UnserializableValue
+
+
+def _journal_lines(store):
+    store.close()
+    with open(store.journal_path, "r", encoding="utf-8") as handle:
+        return [line.strip() for line in handle if line.strip()]
+
+
+class TestUnserializableValues:
+    def test_nan_value_is_tagged_and_round_trips(self, tmp_path):
+        # non-finite trial *values* are legitimate science (e.g. mean delay
+        # with nothing delivered): the encoder tags them instead of crashing
+        store = RunStore(tmp_path / "store")
+        store.put("k-nan", float("nan"), 0.1)
+        store.close()
+        fresh = RunStore(tmp_path / "store")
+        assert math.isnan(fresh.get("k-nan").value)
+
+    def test_nan_duration_raises_and_journals_a_failure_record(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(UnserializableValue) as info:
+            store.put("k-bad", 1.5, float("nan"))
+        assert info.value.key == "k-bad"
+        records = [json.loads(line) for line in _journal_lines(store)]
+        assert len(records) == 1
+        assert records[0]["key"] == "k-bad"
+        assert records[0]["error"] == "unserializable-value"
+        assert "value" not in records[0]
+
+    def test_inf_duration_and_unregistered_types_also_refused(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(UnserializableValue):
+            store.put("k-inf", 1.5, float("inf"))
+        with pytest.raises(UnserializableValue):
+            store.put("k-obj", object(), 0.0)
+
+    def test_loader_skips_failure_records_without_quarantining(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put("good", 2.5, 0.1)
+        with pytest.raises(UnserializableValue):
+            store.put("bad", 1.5, float("nan"))
+        store.close()
+
+        fresh = RunStore(tmp_path / "store")
+        assert len(fresh) == 1
+        assert fresh.get("good").value == 2.5
+        assert fresh.get("bad") is None
+        assert fresh.skipped_lines == 1
+        # a failure record is structured, not corruption
+        assert fresh.quarantined_lines == 0
+        assert not fresh.corrupt_path.exists()
+
+
+class TestCorruptLineQuarantine:
+    def _seed_store(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put("k1", 1.0, 0.1)
+        store.put("k2", 2.0, 0.2)
+        store.close()
+        with open(store.journal_path, "a", encoding="utf-8") as handle:
+            handle.write("{truncated garbag\n")
+            handle.write("[1, 2, 3]\n")
+        return store
+
+    def test_corrupt_lines_quarantined_to_sidecar(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        fresh = RunStore(tmp_path / "store")
+        assert len(fresh) == 2  # index intact
+        assert fresh.quarantined_lines == 2
+        with open(fresh.corrupt_path, "r", encoding="utf-8") as handle:
+            sidecar = [line.strip() for line in handle if line.strip()]
+        assert sidecar == ["{truncated garbag", "[1, 2, 3]"]
+
+    def test_repeated_loads_do_not_duplicate_the_sidecar(self, tmp_path):
+        self._seed_store(tmp_path)
+        first = RunStore(tmp_path / "store")
+        assert first.quarantined_lines == 2
+        second = RunStore(tmp_path / "store")
+        assert len(second) == 2
+        # same corrupt content: deduplicated, nothing fresh quarantined
+        assert second.quarantined_lines == 0
+        with open(second.corrupt_path, "r", encoding="utf-8") as handle:
+            assert sum(1 for line in handle if line.strip()) == 2
+
+    def test_gc_compacts_corrupt_lines_out_of_the_journal(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        reopened = RunStore(tmp_path / "store")
+        stats = reopened.gc()
+        assert isinstance(stats, GCStats)
+        assert stats.entries_kept == 2
+        assert stats.entries_dropped == 2
+        assert stats.corrupt_quarantined == 2
+        assert "quarantined" in stats.summary()
+        # the compacted journal holds only clean records
+        for line in _journal_lines(reopened):
+            record = json.loads(line)
+            assert record["key"] in {"k1", "k2"}
+        # and the sidecar preserves the evidence
+        assert reopened.corrupt_path.exists()
+
+    def test_gc_without_corruption_reports_zero_quarantined(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put("k", 1.0, 0.1)
+        stats = store.gc()
+        assert stats.corrupt_quarantined == 0
+        assert "quarantined" not in stats.summary()
+
+
+class TestRunManifestStatus:
+    def test_status_recorded_and_defaults_to_completed(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.record_run(command="sweep")
+        store.record_run(command="sweep", status="interrupted")
+        statuses = sorted(run["status"] for run in store.list_runs())
+        assert statuses == ["completed", "interrupted"]
+
+    def test_non_finite_durations_sanitised(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        run_id = store.record_run(
+            command="sweep",
+            durations=[0.5, float("nan"), float("inf")],
+        )
+        manifest = store.load_run(run_id)
+        assert manifest["durations"] == [0.5, 0.0, 0.0]
+        assert all(math.isfinite(d) for d in manifest["durations"])
