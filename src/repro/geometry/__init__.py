@@ -2,6 +2,7 @@
 
 from .neighbors import (
     CellGridIndex,
+    IncrementalCellGridIndex,
     adjacency_lists,
     iter_distance_chunks,
     masked_nearest,
@@ -12,6 +13,7 @@ from .torus import pairwise_distances, torus_distance, wrap
 
 __all__ = [
     "CellGridIndex",
+    "IncrementalCellGridIndex",
     "SquareTessellation",
     "adjacency_lists",
     "iter_distance_chunks",

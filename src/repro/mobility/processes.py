@@ -21,11 +21,12 @@ benchmarks use to confirm process-insensitivity:
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..geometry.torus import wrap
+from ..parallel.shm import SharedArrayHandle
 from .shapes import MobilityShape
 
 __all__ = [
@@ -40,10 +41,26 @@ __all__ = [
 
 
 class MobilityProcess(abc.ABC):
-    """A discrete-time mobility process for a population of nodes."""
+    """A discrete-time mobility process for a population of nodes.
 
-    def __init__(self, home_points: np.ndarray):
-        self._home = np.atleast_2d(np.asarray(home_points, dtype=float)).copy()
+    ``home_points`` may be a plain array (defensively copied) or a
+    :class:`~repro.parallel.shm.SharedArrayHandle` -- in a worker process
+    the handle maps the parent's shared block read-only and zero-copy, so a
+    sweep of trial replicas never pickles or duplicates the home-point
+    array.
+    """
+
+    def __init__(self, home_points):
+        if isinstance(home_points, SharedArrayHandle):
+            self._home = np.atleast_2d(home_points.open())
+            if self._home.dtype != np.float64:
+                raise TypeError(
+                    f"shared home-points must be float64, got {self._home.dtype}"
+                )
+        else:
+            self._home = np.atleast_2d(
+                np.asarray(home_points, dtype=float)
+            ).copy()
 
     @property
     def home_points(self) -> np.ndarray:
@@ -64,6 +81,19 @@ class MobilityProcess(abc.ABC):
     @abc.abstractmethod
     def step(self) -> np.ndarray:
         """Advance one time slot; returns the new positions."""
+
+    def step_moved(self) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Advance one slot; returns ``(positions, moved)``.
+
+        ``moved`` is a boolean mask over nodes that is ``True`` for every
+        node whose position may have changed this slot -- a *superset* of
+        the actually-moved nodes is allowed (unchanged coordinates update
+        to identical bits), so processes report whatever mask falls out of
+        their dynamics for free.  ``None`` means "anything may have moved":
+        the caller should diff or rebuild.  The default covers processes
+        with no cheap mask.
+        """
+        return self.step(), None
 
 
 class IIDAroundHome(MobilityProcess):
@@ -130,7 +160,7 @@ class MetropolisWalkAroundHome(MobilityProcess):
         for _ in range(burn_in):
             self._advance()
 
-    def _advance(self) -> None:
+    def _advance(self) -> np.ndarray:
         proposal = self._offsets + self._rng.normal(0.0, self._sigma, self._offsets.shape)
         current_radius = np.linalg.norm(self._offsets, axis=1) / self._scale
         proposal_radius = np.linalg.norm(proposal, axis=1) / self._scale
@@ -141,6 +171,7 @@ class MetropolisWalkAroundHome(MobilityProcess):
         accept = self._rng.random(self.count) < np.minimum(1.0, ratio)
         accept &= proposal_radius <= self._shape.support_radius
         self._offsets[accept] = proposal[accept]
+        return accept
 
     def positions(self) -> np.ndarray:
         return wrap(self._home + self._offsets)
@@ -148,6 +179,12 @@ class MetropolisWalkAroundHome(MobilityProcess):
     def step(self) -> np.ndarray:
         self._advance()
         return self.positions()
+
+    def step_moved(self) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        # the Metropolis accept mask is exactly the set of changed nodes,
+        # and wrap(home + offsets) is bit-stable on the rejected rows
+        accepted = self._advance()
+        return self.positions(), accepted
 
 
 class WaypointAroundHome(MobilityProcess):
@@ -196,6 +233,12 @@ class WaypointAroundHome(MobilityProcess):
             )
         return self.positions()
 
+    def step_moved(self) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        # every node is either en route or snapping to its waypoint, so the
+        # honest mask is all-True; returning it (rather than None) still
+        # spares the caller a positions diff
+        return self.step(), np.ones(self.count, dtype=bool)
+
 
 class StaticProcess(MobilityProcess):
     """Nodes pinned at their home-points (base stations; static baselines)."""
@@ -205,6 +248,9 @@ class StaticProcess(MobilityProcess):
 
     def step(self) -> np.ndarray:
         return self.positions()
+
+    def step_moved(self) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        return self.step(), np.zeros(self.count, dtype=bool)
 
 
 class BrownianMotion(MobilityProcess):

@@ -8,12 +8,22 @@ from .runner import (
     TrialStats,
     run_trials,
 )
+from .shm import (
+    SharedArrayHandle,
+    SharedArrays,
+    resolve_array,
+    share_arrays,
+)
 
 __all__ = [
+    "SharedArrayHandle",
+    "SharedArrays",
     "TrialError",
     "TrialFailed",
     "TrialResult",
     "TrialRunner",
     "TrialStats",
+    "resolve_array",
     "run_trials",
+    "share_arrays",
 ]

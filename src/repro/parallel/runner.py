@@ -499,6 +499,7 @@ class TrialRunner:
         submission_order: Optional[Sequence[int]] = None,
         cache: Optional[Any] = None,
         keys: Optional[Sequence[Optional[str]]] = None,
+        shared: Optional[Any] = None,
     ) -> List[TrialResult]:
         """Run one trial per payload; results are ordered by trial index.
 
@@ -513,7 +514,27 @@ class TrialRunner:
         so a killed run keeps every finished trial.  Seeds are spawned for
         the full payload list regardless of hits, keeping results
         bit-identical to an uncached run at any worker count.
+
+        ``shared`` is a :class:`~repro.parallel.shm.SharedArrays` registry
+        whose blocks back the payloads (handles embedded instead of
+        arrays).  The runner takes ownership: ``shared.unlink_all()`` runs
+        in a ``finally``, so the ``/dev/shm`` segments are reclaimed on
+        success, on a worker crash that exhausts retries, on
+        ``KeyboardInterrupt`` and on SIGTERM (which the resilience layer's
+        :func:`~repro.resilience.drain.interruptible` converts into a
+        ``KeyboardInterrupt`` subclass that propagates through here).
         """
+        try:
+            return self._run_guarded(
+                payloads, seed, submission_order, cache, keys
+            )
+        finally:
+            if shared is not None:
+                shared.unlink_all()
+
+    def _run_guarded(
+        self, payloads, seed, submission_order, cache, keys
+    ) -> List[TrialResult]:
         payloads = list(payloads)
         count = len(payloads)
         if keys is not None and len(keys) != count:
@@ -587,9 +608,12 @@ class TrialRunner:
         seed: int = 0,
         cache: Optional[Any] = None,
         keys: Optional[Sequence[Optional[str]]] = None,
+        shared: Optional[Any] = None,
     ) -> List[Any]:
         """Like :meth:`run` but unwrap values, raising on the first failure."""
-        results = self.run(payloads, seed=seed, cache=cache, keys=keys)
+        results = self.run(
+            payloads, seed=seed, cache=cache, keys=keys, shared=shared
+        )
         for result in results:
             if not result.ok:
                 raise TrialFailed(result.error)

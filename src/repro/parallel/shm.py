@@ -1,0 +1,264 @@
+"""Shared-memory trial state: ship handles to workers, not arrays.
+
+A sweep over trial *replicas* of one realised network pickles the same
+position / home-point arrays into every worker -- ``O(n)`` bytes per trial,
+per attempt, which at the million-node scale the incremental neighbor index
+targets (ROADMAP item 1) dwarfs the actual trial work.  This module moves
+those arrays into :mod:`multiprocessing.shared_memory` blocks exactly once:
+
+- the **parent** creates each block with :class:`SharedArrays` (or the
+  :func:`share_arrays` convenience) and puts the resulting
+  :class:`SharedArrayHandle` -- a ~100-byte picklable descriptor -- into
+  the trial payloads instead of the array;
+- **workers** call :meth:`SharedArrayHandle.open` (directly or through the
+  duck-typed consumers: :class:`~repro.mobility.processes.MobilityProcess`
+  and :class:`~repro.simulation.engine.SlottedSimulator` accept handles
+  wherever they accept arrays) and get a **read-only**, zero-copy NumPy
+  view, cached per process so repeated trials attach once;
+- the block is **unlinked by the parent exactly once**, whichever way the
+  sweep ends: pass the registry as ``shared=`` to
+  :meth:`~repro.parallel.runner.TrialRunner.run` (unlink in a ``finally``
+  -- success, worker crash, ``KeyboardInterrupt``, and SIGTERM via the
+  PR 5 :func:`~repro.resilience.drain.interruptible` conversion all pass
+  through it), or use the registry as a context manager.  An ``atexit``
+  hook sweeps anything still live at interpreter shutdown, and the stdlib
+  ``resource_tracker`` remains the backstop for a hard-killed parent.
+
+Workers deliberately cannot write through a handle: :meth:`open` returns a
+``writeable=False`` view, so an accidental in-place mutation of shared
+state raises instead of silently corrupting every sibling trial.  Each
+attach is unregistered from the worker's ``resource_tracker`` immediately,
+so a worker exiting (or crashing) never unlinks a segment the parent still
+owns.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from ..observability.log import get_logger
+
+__all__ = [
+    "SharedArrayHandle",
+    "SharedArrays",
+    "share_arrays",
+    "resolve_array",
+    "attachment_count",
+    "close_attachments",
+]
+
+_log = get_logger(__name__)
+
+#: Per-process attachment cache: segment name -> (segment, read-only view).
+#: Keeping the ``SharedMemory`` object referenced pins the mapping for the
+#: lifetime of the view; fork-inherited entries stay valid and are reused.
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def _untracked_attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    An attaching process must never unlink the parent's live segment when
+    it exits; Python 3.13 has ``track=False`` for this.  Older versions
+    register every attach with the resource tracker, so the fallback
+    suppresses ``register`` for the duration of the attach.  (Unregistering
+    *after* the attach would be wrong: forked workers share the parent's
+    tracker process, so the unregister would strip the parent's own
+    registration and lose the hard-crash backstop.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable descriptor of one shared-memory array block.
+
+    The handle is what travels in trial payloads: ``(name, shape, dtype)``
+    -- a constant-size pickle however large the array is.  :meth:`open`
+    maps the block read-only in the calling process.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the described array in bytes."""
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+    def open(self) -> np.ndarray:
+        """Map the block and return a read-only, zero-copy array view.
+
+        The underlying attachment is cached per process: every trial a
+        worker runs reuses the same mapping.  The view is always
+        ``writeable=False`` -- shared state is owned by the parent.
+        """
+        cached = _ATTACHED.get(self.name)
+        if cached is None:
+            segment = _untracked_attach(self.name)
+            view = np.ndarray(
+                self.shape, dtype=np.dtype(self.dtype), buffer=segment.buf
+            )
+            view.flags.writeable = False
+            cached = (segment, view)
+            _ATTACHED[self.name] = cached
+        return cached[1]
+
+
+def resolve_array(source: Union[np.ndarray, SharedArrayHandle]) -> np.ndarray:
+    """An array for ``source``: handles are opened, arrays pass through."""
+    if isinstance(source, SharedArrayHandle):
+        return source.open()
+    return np.asarray(source)
+
+
+def attachment_count() -> int:
+    """Number of live shared-memory attachments in this process."""
+    return len(_ATTACHED)
+
+
+def close_attachments() -> None:
+    """Drop this process's attachment cache (mappings close, nothing is
+    unlinked).  Mostly for tests; worker exit closes mappings anyway."""
+    while _ATTACHED:
+        _name, (segment, _view) = _ATTACHED.popitem()
+        try:
+            segment.close()
+        except (OSError, BufferError):  # pragma: no cover - platform quirk
+            pass
+
+
+#: Registries whose blocks are still linked; swept by the atexit hook.
+_LIVE: "set[SharedArrays]" = set()
+
+
+class SharedArrays:
+    """Owner-side registry of the shared blocks backing one sweep.
+
+    Create in the parent, :meth:`share` each array, embed the returned
+    handles in the trial payloads, and guarantee cleanup either with a
+    ``with`` block or by passing the registry as ``shared=`` to
+    :meth:`~repro.parallel.runner.TrialRunner.run`.  ``prefix`` names the
+    ``/dev/shm`` segments (``psm_`` default stdlib prefix replaced by
+    something greppable), which the leak tests scan for.
+    """
+
+    def __init__(self, prefix: str = "repro"):
+        if not prefix or "/" in prefix:
+            raise ValueError(f"prefix must be a non-empty name, got {prefix!r}")
+        self._prefix = prefix
+        self._blocks: Dict[str, Tuple[shared_memory.SharedMemory, SharedArrayHandle]] = {}
+        _LIVE.add(self)
+
+    # ------------------------------------------------------------------
+    def share(self, name: str, array: np.ndarray) -> SharedArrayHandle:
+        """Copy ``array`` into a fresh shared block; return its handle."""
+        if name in self._blocks:
+            raise ValueError(f"array {name!r} is already shared")
+        array = np.ascontiguousarray(array)
+        segment_name = (
+            f"{self._prefix}_{os.getpid()}_{secrets.token_hex(4)}_{name}"
+        )
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(array.nbytes, 1), name=segment_name
+        )
+        staging = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        staging[...] = array
+        handle = SharedArrayHandle(segment.name, array.shape, str(array.dtype))
+        self._blocks[name] = (segment, handle)
+        _log.debug(
+            "shared array %r as %s (%d bytes)", name, segment.name, array.nbytes
+        )
+        return handle
+
+    def handle(self, name: str) -> SharedArrayHandle:
+        """The handle of a previously shared array."""
+        return self._blocks[name][1]
+
+    def handles(self) -> Dict[str, SharedArrayHandle]:
+        """All handles by share name (what a payload builder embeds)."""
+        return {name: handle for name, (_seg, handle) in self._blocks.items()}
+
+    def array(self, name: str) -> np.ndarray:
+        """The parent's *writable* view of a shared block (owner only)."""
+        segment, handle = self._blocks[name]
+        return np.ndarray(
+            handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf
+        )
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    # ------------------------------------------------------------------
+    def unlink_all(self) -> None:
+        """Close and unlink every block (idempotent; survives races with
+        the resource tracker on already-removed segments)."""
+        while self._blocks:
+            name, (segment, _handle) = self._blocks.popitem()
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # already reaped (e.g. by the tracker)
+                pass
+            _log.debug("unlinked shared array %r", name)
+        _LIVE.discard(self)
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.unlink_all()
+
+
+def share_arrays(prefix: str = "repro", **arrays: np.ndarray) -> SharedArrays:
+    """Build a :class:`SharedArrays` registry holding ``arrays``.
+
+    Usage::
+
+        with share_arrays(homes=home_points) as shared:
+            handles = shared.handles()
+            runner.run(payloads_with(handles), shared=None)  # or shared=shared
+    """
+    registry = SharedArrays(prefix=prefix)
+    try:
+        for name, array in arrays.items():
+            registry.share(name, array)
+    except BaseException:
+        registry.unlink_all()
+        raise
+    return registry
+
+
+def _atexit_sweep() -> None:  # pragma: no cover - interpreter shutdown
+    for registry in list(_LIVE):
+        _log.warning(
+            "unlinking %d shared block(s) left live at exit", len(registry)
+        )
+        registry.unlink_all()
+
+
+atexit.register(_atexit_sweep)

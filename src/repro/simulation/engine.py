@@ -21,8 +21,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..geometry.neighbors import CellGridIndex
+from ..geometry.neighbors import CellGridIndex, IncrementalCellGridIndex
 from ..mobility.processes import MobilityProcess
+from ..parallel.shm import resolve_array
 from ..observability.events import SlotBatch, get_telemetry
 from ..observability.log import get_logger
 from ..wireless.scheduler import Scheduler
@@ -98,7 +99,16 @@ class SlottedSimulator:
     rng:
         Randomness for arrivals.
     static_positions:
-        Base-station positions appended after the MSs (optional).
+        Base-station positions appended after the MSs (optional); accepts a
+        plain array or a :class:`~repro.parallel.shm.SharedArrayHandle`.
+    reference:
+        ``True`` restores the seed behaviour of building a fresh
+        :class:`CellGridIndex` from scratch every slot.  The default keeps
+        one :class:`IncrementalCellGridIndex` per simulator and updates it
+        with the mobility process's per-slot moved mask -- bit-identical
+        output (the equivalence battery in ``tests/test_incremental_index``
+        enforces it) at a per-slot cost that scales with how many nodes
+        moved rather than with ``n``.
     """
 
     def __init__(
@@ -110,6 +120,7 @@ class SlottedSimulator:
         arrival_prob: float,
         rng: np.random.Generator,
         static_positions: Optional[np.ndarray] = None,
+        reference: bool = False,
     ):
         if not (0 <= arrival_prob <= 1):
             raise ValueError(f"arrival_prob must be in [0, 1], got {arrival_prob}")
@@ -124,9 +135,16 @@ class SlottedSimulator:
         self._traffic = traffic
         self._arrival_prob = arrival_prob
         self._rng = rng
+        # asarray keeps a shared handle's mapping zero-copy (float64 in,
+        # float64 out); anything else is converted as before
+        static = (
+            resolve_array(static_positions)
+            if static_positions is not None
+            else None
+        )
         self._static = (
-            np.atleast_2d(np.asarray(static_positions, dtype=float))
-            if static_positions is not None and len(static_positions)
+            np.atleast_2d(np.asarray(static, dtype=float))
+            if static is not None and len(static)
             else None
         )
         total = process.count + (0 if self._static is None else self._static.shape[0])
@@ -135,6 +153,8 @@ class SlottedSimulator:
         self._slot = 0
         self._delivered: List[Packet] = []
         self._elapsed = 0.0
+        self._reference = reference
+        self._index: Optional[IncrementalCellGridIndex] = None
 
     # ------------------------------------------------------------------
     @property
@@ -175,9 +195,29 @@ class SlottedSimulator:
         else:
             self._queues[to_node].append(packet)
 
+    def _slot_index(self, positions, moved):
+        """The neighbor index for this slot's scheduler queries.
+
+        Reference mode rebuilds a fresh :class:`CellGridIndex`; otherwise
+        one persistent :class:`IncrementalCellGridIndex` is diffed forward
+        using the mobility process's moved mask (padded with ``False`` for
+        the static base stations, which never move).
+        """
+        if self._reference:
+            return CellGridIndex(positions)
+        if self._index is None:
+            self._index = IncrementalCellGridIndex(positions)
+        else:
+            if moved is not None and self._static is not None:
+                moved = np.concatenate(
+                    [moved, np.zeros(self._static.shape[0], dtype=bool)]
+                )
+            self._index.update(positions, moved=moved)
+        return self._index
+
     def step(self) -> None:
         """Advance the simulation by one slot."""
-        positions = self._process.step()
+        positions, moved = self._process.step_moved()
         if self._static is not None:
             positions = np.vstack([positions, self._static])
         self._spawn_packets()
@@ -185,7 +225,7 @@ class SlottedSimulator:
         # scheduler runs its guard-zone queries against it instead of a
         # dense n x n distance matrix.
         schedule = self._scheduler.schedule(
-            positions, index=CellGridIndex(positions)
+            positions, index=self._slot_index(positions, moved)
         )
         for a, b in schedule.pairs:
             # Each enabled pair serves one packet in each direction

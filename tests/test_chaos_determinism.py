@@ -8,9 +8,12 @@ interrupted mid-flight then resumed from its journal must converge to the
 same digest as an uninterrupted run.
 """
 
+import os
+
 import pytest
 
 from repro.core.regimes import NetworkParameters
+from repro.experiments.delay import compare_delays
 from repro.experiments.scaling import sweep_capacity
 from repro.resilience import FaultPlan, ResilienceConfig, RetryPolicy
 from repro.store import RunStore
@@ -62,6 +65,46 @@ class TestChaosDigestEquality:
             resilience=_chaos_config(),
         )
         assert chaos.digest() == _clean_digest()
+
+
+class TestChaosWithIncrementalIndexAndShm:
+    """The PR 6 fast path under chaos: the delay-comparison sweep runs the
+    packet simulator on its default :class:`IncrementalCellGridIndex` and
+    ships the realisation's home-points / BS positions as shared-memory
+    handles.  Fault-injected parallel runs must reproduce the serial
+    result exactly, and the parent must unlink its blocks either way."""
+
+    N = 48
+    SLOTS = 120
+
+    def _compare(self, **kwargs):
+        return compare_delays(
+            self.N, seed=SEED, slots=self.SLOTS, arrival_prob=0.01, **kwargs
+        )
+
+    @staticmethod
+    def _shm_segments():
+        try:
+            return [
+                name
+                for name in os.listdir("/dev/shm")
+                if name.startswith("repro_delay")
+            ]
+        except FileNotFoundError:
+            return []
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_fault_injected_workers_match_serial_reference(self, workers):
+        reference = self._compare()
+        chaos = self._compare(
+            workers=workers,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=3),
+                fault_plan=FaultPlan.parse("kill@0,raise@1"),
+            ),
+        )
+        assert chaos == reference
+        assert self._shm_segments() == []
 
 
 class _InterruptingStore(RunStore):

@@ -1,0 +1,224 @@
+"""Lifecycle tests for the shared-memory trial state (``parallel/shm``).
+
+The hazard with ``multiprocessing.shared_memory`` is not correctness but
+hygiene: a ``/dev/shm`` segment outlives the process that created it, so a
+leak survives until reboot.  These tests pin down the ownership protocol:
+
+- the parent creates blocks, workers map them **read-only** (an attempted
+  write raises, it cannot corrupt sibling trials);
+- a worker exiting -- cleanly or via SIGKILL -- never unlinks the parent's
+  live segment;
+- the parent unlinks exactly once however the sweep ends: clean success,
+  kill-injected worker crashes (``FaultPlan``), and a SIGTERM arriving
+  mid-sweep (converted by :func:`repro.resilience.drain.interruptible`
+  into the ``KeyboardInterrupt`` drain path).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel import SharedArrayHandle, TrialRunner, share_arrays
+from repro.parallel.shm import SharedArrays, close_attachments
+from repro.resilience import FaultPlan, RetryPolicy
+
+#: All segments created by this module carry this prefix, so leak checks
+#: scan /dev/shm without being confused by other tenants.
+PREFIX = "reproshmtest"
+
+
+def _segments(prefix=PREFIX):
+    try:
+        return sorted(
+            name for name in os.listdir("/dev/shm") if name.startswith(prefix)
+        )
+    except FileNotFoundError:  # non-Linux: no scanning, tests still pass
+        return []
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks_across_tests():
+    before = _segments()
+    yield
+    close_attachments()
+    assert _segments() == before, "test leaked /dev/shm segments"
+
+
+def _sum_trial(rng, payload):
+    """Open the handle and reduce it (module-level so it pickles)."""
+    handle, scale = payload
+    return float(handle.open().sum()) * scale
+
+
+def _write_trial(rng, payload):
+    """Attempt an in-place write through the mapped block."""
+    view = payload.open()
+    try:
+        view[0, 0] = -1.0
+    except ValueError:
+        return "read-only"
+    return "writable"
+
+
+class TestHandleMapping:
+    def test_worker_views_are_read_only(self):
+        data = np.arange(20, dtype=float).reshape(10, 2)
+        with share_arrays(PREFIX, positions=data) as shared:
+            handle = shared.handle("positions")
+            runner = TrialRunner(_write_trial, workers=2)
+            outcomes = runner.run_values([handle] * 4)
+            assert outcomes == ["read-only"] * 4
+            # ... and nothing scribbled on the parent's copy
+            np.testing.assert_array_equal(shared.array("positions"), data)
+
+    def test_handle_is_constant_size_and_zero_copy(self):
+        data = np.random.default_rng(0).random((50_000, 2))
+        with share_arrays(PREFIX, positions=data) as shared:
+            handle = shared.handle("positions")
+            import pickle
+
+            assert len(pickle.dumps(handle)) < 300  # vs ~800 kB for the array
+            view = handle.open()
+            np.testing.assert_array_equal(view, data)
+            assert not view.flags.writeable
+            # owner writes are visible through the mapping: same memory
+            shared.array("positions")[0, 0] = 0.25
+            assert view[0, 0] == 0.25
+
+    def test_duplicate_share_name_rejected(self):
+        with share_arrays(PREFIX, a=np.zeros(3)) as shared:
+            with pytest.raises(ValueError):
+                shared.share("a", np.zeros(3))
+
+
+class TestUnlinkOnEveryExitPath:
+    def test_clean_parallel_run_leaves_no_segments(self):
+        data = np.arange(12, dtype=float).reshape(6, 2)
+        shared = share_arrays(PREFIX, positions=data)
+        handle = shared.handle("positions")
+        runner = TrialRunner(_sum_trial, workers=2)
+        values = runner.run_values(
+            [(handle, k) for k in range(5)], shared=shared
+        )
+        assert values == [data.sum() * k for k in range(5)]
+        assert _segments() == []
+
+    def test_kill_injected_crashes_still_unlink(self):
+        """Workers SIGKILLed mid-trial break the pool; retries heal the
+        sweep and the parent still owns -- and unlinks -- the block."""
+        data = np.ones((8, 2))
+        shared = share_arrays(PREFIX, positions=data)
+        handle = shared.handle("positions")
+        runner = TrialRunner(
+            _sum_trial,
+            workers=2,
+            retry_policy=RetryPolicy(max_attempts=3),
+            fault_plan=FaultPlan.parse("kill@0,kill@2"),
+        )
+        results = runner.run(
+            [(handle, k) for k in range(4)], shared=shared
+        )
+        assert all(result.ok for result in results)
+        assert [result.value for result in results] == [
+            16.0 * k for k in range(4)
+        ]
+        assert _segments() == []
+
+    def test_unrecoverable_crash_still_unlinks(self):
+        """Even when retries are exhausted and the sweep reports failures,
+        the finally-unlink runs."""
+        shared = share_arrays(PREFIX, positions=np.ones((4, 2)))
+        handle = shared.handle("positions")
+        runner = TrialRunner(
+            _sum_trial,
+            workers=2,
+            retry_policy=RetryPolicy(max_attempts=1),
+            fault_plan=FaultPlan.parse("kill@0"),
+        )
+        results = runner.run([(handle, 1)], shared=shared)
+        assert not results[0].ok
+        assert results[0].error.kind == "worker-crash"
+        assert _segments() == []
+
+    def test_registry_context_manager_is_exception_safe(self):
+        with pytest.raises(RuntimeError):
+            with share_arrays(PREFIX, positions=np.zeros((3, 2))):
+                assert len(_segments()) == 1
+                raise RuntimeError("sweep blew up before the runner")
+        assert _segments() == []
+
+    def test_partial_share_failure_rolls_back(self):
+        jagged = [[1.0], [1.0, 2.0]]  # not coercible to an ndarray
+        with pytest.raises(ValueError):
+            share_arrays(PREFIX, good=np.zeros(4), bad=jagged)
+        assert _segments() == []
+
+
+_SIGTERM_SCRIPT = r"""
+import numpy as np, sys, time
+from repro.parallel import TrialRunner, share_arrays
+from repro.resilience.drain import interruptible, SweepInterrupted
+from tests.test_shm_lifecycle import PREFIX
+
+def slow_trial(rng, payload):
+    handle, _ = payload
+    total = float(handle.open().sum())
+    # long enough for the parent to SIGTERM mid-flight, short enough that
+    # interpreter exit (which joins the forked workers) stays fast
+    time.sleep(6.0)
+    return total
+
+shared = share_arrays(PREFIX, positions=np.ones((16, 2)))
+handle = shared.handle("positions")
+runner = TrialRunner(slow_trial, workers=2)
+print("READY", flush=True)
+try:
+    with interruptible():
+        runner.run([(handle, k) for k in range(2)], shared=shared)
+except KeyboardInterrupt:
+    print("DRAINED", flush=True)
+    sys.exit(0)
+print("UNREACHED", flush=True)
+sys.exit(1)
+"""
+
+
+class TestSigtermDrain:
+    def test_sigterm_interrupted_sweep_unlinks(self, tmp_path):
+        """SIGTERM mid-sweep takes the interruptible -> KeyboardInterrupt
+        drain path straight through the runner's finally-unlink."""
+        script = tmp_path / "sigterm_sweep.py"
+        script.write_text(_SIGTERM_SCRIPT)
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(root, "src"), root, env.get("PYTHONPATH", "")]
+        )
+        child = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            assert child.stdout.readline().strip() == "READY"
+            # give the sweep a moment to share the block and enter the pool
+            deadline = time.monotonic() + 10.0
+            while not _segments() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert _segments(), "sweep never created its shared block"
+            time.sleep(1.0)  # let the trials reach their in-worker sleep
+            child.send_signal(signal.SIGTERM)
+            out, _ = child.communicate(timeout=60)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.communicate()
+        assert "DRAINED" in out
+        assert child.returncode == 0
+        assert _segments() == []
