@@ -1,0 +1,140 @@
+"""Trial-batched sweep benchmark: trials/s serial vs ``--batch-trials``.
+
+The batched execution path (``BatchedTrialPlan`` + the zone-blocked flow
+kernels in ``repro.routing.batched``) must earn its complexity: this
+benchmark times ``sweep_capacity`` with and without ``batch_trials`` on
+the strong-mobility scheme-B family at ``n = 1000`` and ``n = 4000`` and
+emits ``BENCH_batched.json`` with trials/s for both paths.
+
+Two gates:
+
+- **speedup**: at the batch-friendly end (the largest ``n``, where the
+  access kernel dominates and zone-blocking pays most) the batched path
+  must deliver at least ``GATE_SPEEDUP``x the serial trials/s;
+- **bit-identity**: serial and batched sweeps must produce the *same
+  digest* at every ``n`` -- the speedup is worthless if the numbers move.
+
+Run modes:
+
+- ``python benchmarks/bench_batched.py`` -- full run (checked-in artifact);
+- CI runs ``REPRO_BATCHED_TRIALS=8 python -m pytest
+  benchmarks/bench_batched.py -q -s -m bench`` (reduced trial count, same
+  gates).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.regimes import NetworkParameters
+from repro.experiments.scaling import sweep_capacity
+
+#: Sweep grid; CI keeps it, the batch kernels make even n=4000 cheap.
+N_VALUES = tuple(
+    int(value)
+    for value in os.environ.get("REPRO_BATCHED_GRID", "1000,4000").split(",")
+)
+#: Trials per n (also the batch width); CI overrides to 8.
+TRIALS = int(os.environ.get("REPRO_BATCHED_TRIALS", "16"))
+#: Timing repetitions per configuration (best-of, to shed scheduler noise).
+REPEATS = 3
+#: The acceptance gate, applied at the largest n of the grid.
+GATE_SPEEDUP = 2.0
+
+#: The strong-mobility family of Figure 2; ``generic=True`` because the
+#: uniform (min-MS) scheme-B rate is 0.0 at these n (documented in
+#: EXPERIMENTS.md) which would make the flow phase trivially cheap.
+FAMILY = NetworkParameters(
+    alpha="1/4", cluster_exponent=1, bs_exponent="1/2", backbone_exponent=1
+)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batched.json"
+
+
+def _time_sweep(n, **kwargs):
+    """Best-of-``REPEATS`` wall clock of one sweep; returns (seconds, digest)."""
+    best = float("inf")
+    digest = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = sweep_capacity(
+            FAMILY, [n], scheme="B", trials=TRIALS, seed=42, generic=True, **kwargs
+        )
+        best = min(best, time.perf_counter() - start)
+        digest = result.digest()
+    return best, digest
+
+
+def run_bench():
+    points = []
+    for n in N_VALUES:
+        serial_seconds, serial_digest = _time_sweep(n)
+        batched_seconds, batched_digest = _time_sweep(n, batch_trials=TRIALS)
+        points.append(
+            {
+                "n": n,
+                "trials": TRIALS,
+                "serial_seconds": serial_seconds,
+                "batched_seconds": batched_seconds,
+                "serial_trials_per_second": TRIALS / serial_seconds,
+                "batched_trials_per_second": TRIALS / batched_seconds,
+                "speedup": serial_seconds / batched_seconds,
+                "digest_identical": serial_digest == batched_digest,
+                "digest": serial_digest,
+            }
+        )
+    return {
+        "family": "alpha=1/4, clusters=n, bs=sqrt(n) (strong mobility)",
+        "scheme": "B",
+        "generic": True,
+        "batch_trials": TRIALS,
+        "gate_speedup": GATE_SPEEDUP,
+        "points": points,
+    }
+
+
+def _render(result):
+    lines = []
+    for row in result["points"]:
+        lines.append(
+            f"n={row['n']:>5}: serial {row['serial_trials_per_second']:8.1f} trials/s, "
+            f"batched {row['batched_trials_per_second']:8.1f} trials/s "
+            f"({row['speedup']:4.2f}x), digest "
+            + ("identical" if row["digest_identical"] else "DIVERGED")
+        )
+    return "\n".join(lines)
+
+
+def _check_gates(result):
+    for row in result["points"]:
+        assert row["digest_identical"], (
+            f"batched sweep diverged from serial at n={row['n']} -- "
+            "bit-identity is the contract, no speedup excuses it"
+        )
+    friendly = max(result["points"], key=lambda row: row["n"])
+    assert friendly["speedup"] >= GATE_SPEEDUP, (
+        f"expected >= {GATE_SPEEDUP}x trials/s from --batch-trials at "
+        f"n={friendly['n']}, measured {friendly['speedup']:.2f}x"
+    )
+
+
+@pytest.mark.bench
+@pytest.mark.slow
+def test_batched_sweep_throughput():
+    from conftest import report
+
+    result = run_bench()
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    report("trial-batched sweep: trials/s serial vs batched", _render(result))
+    _check_gates(result)
+
+
+if __name__ == "__main__":
+    outcome = run_bench()
+    OUTPUT.write_text(json.dumps(outcome, indent=2) + "\n")
+    print(_render(outcome))
+    _check_gates(outcome)

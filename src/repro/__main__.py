@@ -14,6 +14,14 @@ Commands
 trials out over ``N`` processes (``0`` = all cores); results are
 bit-identical at any worker count (see ``repro.parallel``).
 
+``sweep`` additionally accepts ``--batch-trials N`` (group same-``n``
+trials into batches of at most ``N`` and drive the batched flow kernels
+of ``repro.routing.batched``; bit-identical to the per-trial path on the
+default backend) and ``--backend NAME`` (pick a registered array backend,
+see ``repro.backend``; non-canonical backends such as ``numpy32`` are
+tolerance-gated, require ``--batch-trials`` and get their own digest
+namespace).
+
 They also accept ``--store DIR`` to journal every completed trial into a
 persistent, content-addressed store (see ``repro.store``): re-invoking the
 same command -- including after an interruption -- replays the journaled
@@ -263,6 +271,8 @@ def _cmd_sweep(args) -> int:
         workers=_workers(args),
         store=_store(args),
         resilience=_resilience(args),
+        batch_trials=args.batch_trials,
+        backend=args.backend,
     )
     print(params.describe())
     for n, rate in zip(result.n_values, result.rates):
@@ -471,6 +481,16 @@ def main(argv=None) -> int:
         "--workers", type=int, default=None, metavar="N",
         help="fan trials out over N processes (0 = all cores; "
         "results are identical at any worker count)",
+    )
+    cmd.add_argument(
+        "--batch-trials", type=int, default=None, metavar="N",
+        help="group same-n trials into batches of at most N and use the "
+        "batched flow kernels (bit-identical on the default backend)",
+    )
+    cmd.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="array backend for the batched kernels (default numpy64; "
+        "see repro.backend -- non-canonical backends need --batch-trials)",
     )
     _add_store_arguments(cmd)
     _add_telemetry_arguments(cmd)

@@ -9,12 +9,14 @@ exponent of :mod:`repro.core.capacity`.
 
 from __future__ import annotations
 
+import functools
 import warnings
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import resolve_backend
 from ..core.capacity import (
     infrastructure_capacity,
     mobility_capacity,
@@ -22,11 +24,18 @@ from ..core.capacity import (
 )
 from ..core.order import Order
 from ..core.regimes import MobilityRegime, NetworkParameters
+from ..observability.events import BackendSelected, get_telemetry
 from ..observability.log import get_logger
 from ..observability.timing import span
-from ..parallel import TrialRunner, TrialStats
+from ..parallel import BatchedTrialPlan, TrialRunner, TrialStats
 from ..resilience import ResilienceConfig, check_min_success, validate_rate
 from ..routing.base import FlowResult
+from ..routing.batched import (
+    batched_scheme_c_attach,
+    batched_zone_access,
+    scheme_b_flow,
+)
+from ..routing.scheme_c import SchemeC
 from ..simulation.network import HybridNetwork
 from ..store import TrialSeed, content_digest, open_store, trial_key
 from ..utils.fitting import PowerLawFit, fit_power_law
@@ -112,6 +121,12 @@ class SweepResult:
     #: Explicit per-trial seeds, aligned with the payload list (trial ``i``
     #: ran on ``trial_seeds[i]`` regardless of submission order or caching).
     trial_seeds: Optional[Tuple[TrialSeed, ...]] = None
+    #: Array backend the rates came from -- ``None`` for the canonical
+    #: ``numpy64`` path (bit-identical to serial, digest-compatible with
+    #: legacy results); the backend name for tolerance-gated backends,
+    #: which fold into :meth:`digest` so their rates never collide with
+    #: canonical ones.
+    backend: Optional[str] = None
 
     @property
     def exponent_error(self) -> float:
@@ -128,16 +143,19 @@ class SweepResult:
         the resume tests and the CI cache job (a resumed or re-worker-ed
         run must reproduce a cold run's digest exactly).
         """
-        return content_digest(
-            {
-                "parameters": self.parameters,
-                "scheme": self.scheme,
-                "n_values": [int(n) for n in self.n_values],
-                "trials": self.trials,
-                "seed": self.seed,
-                "rates": [float(rate) for rate in self.rates],
-            }
-        )
+        identity = {
+            "parameters": self.parameters,
+            "scheme": self.scheme,
+            "n_values": [int(n) for n in self.n_values],
+            "trials": self.trials,
+            "seed": self.seed,
+            "rates": [float(rate) for rate in self.rates],
+        }
+        if self.backend is not None:
+            # non-canonical backends are tolerance-gated, not bit-exact:
+            # keep their digests disjoint from the canonical namespace
+            identity["backend"] = self.backend
+        return content_digest(identity)
 
     def row(self) -> list:
         """Values for a result table row."""
@@ -186,6 +204,100 @@ def _sweep_trial(rng: np.random.Generator, payload: tuple) -> float:
     return float(result.per_node_rate)
 
 
+def _payload_rate(result: FlowResult, generic: bool) -> float:
+    """The scalar a sweep trial reports for one flow result."""
+    if generic:
+        return float(result.details.get("generic_rate", result.per_node_rate))
+    return float(result.per_node_rate)
+
+
+def _serial_members(seed_seqs, payloads) -> List[float]:
+    """Per-member serial fallback of one batch (bit-identical by construction)."""
+    return [
+        _sweep_trial(np.random.default_rng(seed_seq), payload)
+        for seed_seq, payload in zip(seed_seqs, payloads)
+    ]
+
+
+def _batched_sweep_trial(seed_seqs, payloads, backend: str = "numpy64") -> List[float]:
+    """Execute one same-shape batch of sweep trials (module-level, picklable).
+
+    Every member's network is still built serially with its own payload
+    seed (construction consumes RNG in a fixed order that must match the
+    serial trial exactly); the *flow analysis* -- the hot part -- is then
+    batched: one :func:`batched_zone_access` call plus vectorised session
+    counting for scheme B, one :func:`batched_scheme_c_attach` call for
+    scheme C.  Schemes without a batched kernel, width-1 batches, and
+    batches whose realisations disagree on stacked shapes (a degenerate
+    draw changed ``k``) fall back to the serial per-member path, so the
+    returned values are always exactly the serial ones on the canonical
+    backend.
+    """
+    parameters, n, scheme, build_kwargs, generic = payloads[0][:5]
+    if len(payloads) == 1 or scheme not in ("B", "C"):
+        return _serial_members(seed_seqs, payloads)
+    rngs = [
+        payload[5].rng()
+        if len(payload) > 5 and payload[5] is not None
+        else np.random.default_rng(seed_seq)
+        for seed_seq, payload in zip(seed_seqs, payloads)
+    ]
+    nets = [
+        HybridNetwork.build(parameters, int(n), rng, **build_kwargs)
+        for rng in rngs
+    ]
+    traffics = [net.sample_traffic() for net in nets]
+    if any(net.bs_positions is None for net in nets) or len(
+        {net.bs_positions.shape for net in nets}
+    ) != 1:
+        return _serial_members(seed_seqs, payloads)
+    if scheme == "B":
+        zones = [net.scheme_b_zones() for net in nets]
+        access = batched_zone_access(
+            np.stack([net.home_model.points for net in nets]),
+            np.stack([net.bs_positions for net in nets]),
+            np.stack([ms_zone for ms_zone, _bs_zone in zones]),
+            np.stack([bs_zone for _ms_zone, bs_zone in zones]),
+            nets[0].shape,
+            nets[0].realized.f,
+            nets[0].access_transmission_range(),
+            backend=backend,
+        )
+        values = []
+        for member, net in enumerate(nets):
+            per_node, generic_rate = scheme_b_flow(
+                access[member],
+                zones[member][0],
+                zones[member][1],
+                net.backbone,
+                traffics[member].destination,
+            )
+            values.append(float(generic_rate if generic else per_node))
+        return values
+    cell, distance = batched_scheme_c_attach(
+        np.stack([net.process.positions() for net in nets]),
+        np.stack([net.bs_positions for net in nets]),
+        np.stack([net.home_model.assignment for net in nets]),
+        np.stack([net._bs_cluster_assignment() for net in nets]),
+        chunk_size=SchemeC._CHUNK,
+        backend=backend,
+    )
+    values = []
+    for member, net in enumerate(nets):
+        scheme_c = SchemeC(
+            ms_positions=net.process.positions(),
+            bs_positions=net.bs_positions,
+            ms_cluster=net.home_model.assignment,
+            bs_cluster=net._bs_cluster_assignment(),
+            backbone=net.backbone,
+            delta=net.delta,
+            attach=(cell[member], distance[member]),
+        )
+        result = scheme_c.sustainable_rate(traffics[member])
+        values.append(_payload_rate(result, generic))
+    return values
+
+
 def sweep_trial_payloads(
     parameters: NetworkParameters,
     n_values: Sequence[int],
@@ -215,15 +327,27 @@ def sweep_trial_payloads(
     ]
 
 
-def _sweep_trial_keys(payloads: Sequence[tuple]) -> list:
-    """Content-hash cache key of each sweep payload."""
+def _sweep_trial_keys(
+    payloads: Sequence[tuple], backend: Optional[str] = None
+) -> list:
+    """Content-hash cache key of each sweep payload.
+
+    ``backend`` (a non-canonical backend name) folds into the key so
+    tolerance-gated values live in their own cache namespace and can
+    never be replayed into a canonical sweep.
+    """
+    extra_backend = {} if backend is None else {"backend": backend}
     return [
         trial_key(
             parameters,
             scheme,
             n,
             seed,
-            extra={"build_kwargs": build_kwargs, "generic": generic},
+            extra={
+                "build_kwargs": build_kwargs,
+                "generic": generic,
+                **extra_backend,
+            },
         )
         for parameters, n, scheme, build_kwargs, generic, seed in payloads
     ]
@@ -240,6 +364,8 @@ def sweep_capacity(
     workers: Optional[int] = None,
     store=None,
     resilience: Optional[ResilienceConfig] = None,
+    batch_trials: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> SweepResult:
     """Measure ``lambda(n)`` over a grid of ``n`` and fit the exponent.
 
@@ -281,6 +407,18 @@ def sweep_capacity(
     trials are already journaled, a ``status="interrupted"`` manifest is
     recorded, and the interrupt propagates -- re-invoking the same sweep
     resumes from the journal and reproduces the uninterrupted digest.
+
+    ``batch_trials`` (``>= 2``) groups same-``n`` trials into batches of
+    at most that width and drives the batched flow kernels
+    (:mod:`repro.routing.batched`) instead of one full scheme object per
+    trial.  On the default canonical backend the batched rates -- and the
+    sweep digest -- are bit-identical to the per-trial path at any worker
+    count.  ``backend`` selects a registered array backend
+    (:func:`repro.backend.available_backends`); non-canonical backends
+    (``numpy32``, ``cupy``, ``torch``) are tolerance-gated, require
+    ``batch_trials`` (only the batched kernels are backend-aware), fold
+    into the trial cache keys, and stamp :attr:`SweepResult.backend` so
+    their digests never collide with canonical results.
     """
     if scheme not in SCHEME_SELECTORS:
         raise ValueError(
@@ -288,17 +426,43 @@ def sweep_capacity(
         )
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
+    if batch_trials is not None and batch_trials < 2:
+        raise ValueError(
+            f"batch_trials must be >= 2 (or None for per-trial execution), "
+            f"got {batch_trials}"
+        )
+    resolved_backend = resolve_backend(backend)
+    if not resolved_backend.canonical and batch_trials is None:
+        raise ValueError(
+            f"backend {resolved_backend.name!r} is only used by the batched "
+            "kernels; pass batch_trials >= 2 (the per-trial path is always "
+            "canonical numpy64)"
+        )
     store = open_store(store)
     n_values = np.asarray(sorted(n_values), dtype=int)
     payloads = sweep_trial_payloads(
         parameters, n_values, scheme, trials, build_kwargs, generic, seed=seed
     )
-    keys = _sweep_trial_keys(payloads) if store is not None else None
+    key_backend = None if resolved_backend.canonical else resolved_backend.name
+    keys = (
+        _sweep_trial_keys(payloads, backend=key_backend)
+        if store is not None
+        else None
+    )
+    sink = get_telemetry()
+    if sink.enabled:
+        sink.emit(
+            BackendSelected(
+                backend=resolved_backend.name,
+                canonical=resolved_backend.canonical,
+                batch_trials=batch_trials or 0,
+            )
+        )
     _log.info(
         "sweep_capacity: scheme=%s grid=%s trials=%d seed=%d workers=%s "
-        "store=%s",
+        "store=%s batch_trials=%s backend=%s",
         scheme, [int(n) for n in n_values], trials, seed, workers,
-        getattr(store, "root", None),
+        getattr(store, "root", None), batch_trials, resolved_backend.name,
     )
     resilience = resilience if resilience is not None else ResilienceConfig()
     runner = TrialRunner(
@@ -309,7 +473,26 @@ def sweep_capacity(
     )
     try:
         with span("sweep_capacity", logger=_log):
-            results = runner.run(payloads, seed=seed, cache=store, keys=keys)
+            if batch_trials is not None:
+                plan = BatchedTrialPlan.group(
+                    payloads,
+                    shape_key=lambda payload: (int(payload[1]),),
+                    batch_trials=batch_trials,
+                )
+                results = runner.run_batched(
+                    payloads,
+                    functools.partial(
+                        _batched_sweep_trial, backend=resolved_backend.name
+                    ),
+                    plan,
+                    seed=seed,
+                    cache=store,
+                    keys=keys,
+                )
+            else:
+                results = runner.run(
+                    payloads, seed=seed, cache=store, keys=keys
+                )
     except KeyboardInterrupt:
         # graceful drain: every completed trial is already journaled; leave
         # a resumable manifest behind and let the interrupt propagate.
@@ -325,6 +508,8 @@ def sweep_capacity(
                     "build_kwargs": build_kwargs or {},
                     "generic": generic,
                     "workers": workers,
+                    "batch_trials": batch_trials,
+                    "backend": resolved_backend.name,
                 },
                 parameters=parameters,
                 trial_keys=keys,
@@ -369,6 +554,7 @@ def sweep_capacity(
         stats=runner.last_stats,
         seed=seed,
         trial_seeds=tuple(payload[5] for payload in payloads),
+        backend=key_backend,
     )
     if store is not None:
         store.record_run(
@@ -381,6 +567,8 @@ def sweep_capacity(
                 "build_kwargs": build_kwargs or {},
                 "generic": generic,
                 "workers": workers,
+                "batch_trials": batch_trials,
+                "backend": resolved_backend.name,
             },
             parameters=parameters,
             trial_keys=keys,

@@ -34,6 +34,7 @@ emits as futures complete, so pool workers never touch the sink.
 """
 
 from .events import (
+    BackendSelected,
     CompositeTelemetry,
     DegradedToSerial,
     FaultInjected,
@@ -61,6 +62,7 @@ from .timing import span
 from .trace import JsonlTraceSink, open_trace
 
 __all__ = [
+    "BackendSelected",
     "CompositeTelemetry",
     "DegradedToSerial",
     "FaultInjected",

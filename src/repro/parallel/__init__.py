@@ -1,5 +1,6 @@
 """Deterministic parallel execution of independent Monte-Carlo trials."""
 
+from .batch import BatchedTrialPlan, TrialBatch
 from .runner import (
     TrialError,
     TrialFailed,
@@ -16,8 +17,10 @@ from .shm import (
 )
 
 __all__ = [
+    "BatchedTrialPlan",
     "SharedArrayHandle",
     "SharedArrays",
+    "TrialBatch",
     "TrialError",
     "TrialFailed",
     "TrialResult",

@@ -368,6 +368,17 @@ class _Emitter:
             self._progress()
 
 
+def _execute_batch(rng, batch_payload):
+    """Inner trial body of one batch (module-level so it pickles).
+
+    ``batch_payload`` is ``(batch_fn, seed_seqs, member_payloads)``; the
+    runner-provided ``rng`` is unused -- every member derives its stream
+    from its own full-count-spawned seed, exactly as a serial run would.
+    """
+    batch_fn, seed_seqs, members = batch_payload
+    return batch_fn(seed_seqs, members)
+
+
 class TrialRunner:
     """Deterministic fan-out of independent trials over a process pool.
 
@@ -600,6 +611,217 @@ class TrialRunner:
             degraded=degraded,
         )
         _log.debug("run complete: %s", self._last_stats.summary())
+        return results  # type: ignore[return-value]
+
+    def run_batched(
+        self,
+        payloads: Sequence[Any],
+        batch_fn: Callable[[Sequence[Any], Sequence[Any]], Sequence[Any]],
+        plan: "BatchedTrialPlan",
+        seed: int = 0,
+        cache: Optional[Any] = None,
+        keys: Optional[Sequence[Optional[str]]] = None,
+        shared: Optional[Any] = None,
+    ) -> List[TrialResult]:
+        """Run trials grouped into same-shape batches; per-trial results.
+
+        ``plan`` (a :class:`~repro.parallel.batch.BatchedTrialPlan`) maps
+        trial indices into batches; ``batch_fn(seed_seqs, payloads) ->
+        values`` (module-level, picklable) executes one whole batch and
+        returns one value per member, in member order.
+
+        The contract matches :meth:`run` exactly: cache hits are served
+        per *member* before any batch executes, seeds are spawned for the
+        full payload list by trial index (each member receives the same
+        ``SeedSequence`` a serial run would), fresh member values are
+        validated and journaled individually, and results come back
+        ordered by trial index.  A batch is the unit of execution and
+        failure -- retry, timeout and crash handling apply to whole
+        batches through the same pool machinery as :meth:`run`, and a
+        batch that fails for good surfaces one :class:`TrialError` per
+        member.  Member durations report the batch duration split evenly
+        (the journaled per-trial cost a later cached run replays).
+        """
+        from .batch import BatchedTrialPlan  # local: avoid import cycle
+
+        if not isinstance(plan, BatchedTrialPlan):
+            raise TypeError(f"plan must be a BatchedTrialPlan, got {type(plan)}")
+        try:
+            return self._run_batched_guarded(
+                payloads, batch_fn, plan, seed, cache, keys
+            )
+        finally:
+            if shared is not None:
+                shared.unlink_all()
+
+    def _run_batched_guarded(
+        self, payloads, batch_fn, plan, seed, cache, keys
+    ) -> List[TrialResult]:
+        payloads = list(payloads)
+        count = len(payloads)
+        if keys is not None and len(keys) != count:
+            raise ValueError(
+                f"need one key per payload: {len(keys)} keys, {count} payloads"
+            )
+        if not plan.covers(count):
+            raise ValueError(
+                f"plan does not partition the {count} payload indices"
+            )
+        if count == 0:
+            self._last_stats = TrialStats(0, 0, 0, 0.0, self._workers)
+            return []
+        start = time.perf_counter()
+        sink = self._telemetry if self._telemetry is not None else _events.get_telemetry()
+        emitter = _Emitter(sink, count)
+        emitter.begin()
+        results: List[Optional[TrialResult]] = [None] * count
+        if cache is not None and keys is not None:
+            for index in range(count):
+                if keys[index] is None:
+                    continue
+                hit = cache.get(keys[index])
+                if hit is not None:
+                    results[index] = TrialResult(
+                        index=index,
+                        value=hit.value,
+                        attempts=0,
+                        duration=hit.duration,
+                        cached=True,
+                    )
+                    emitter.cache_hit(results[index])
+        cache_hits = sum(1 for r in results if r is not None)
+        seeds = np.random.SeedSequence(seed).spawn(count)
+        live: List = []  # (member indices, batch payload)
+        for batch in plan.batches:
+            members = [i for i in batch.indices if results[i] is None]
+            if not members:
+                continue
+            live.append(
+                (
+                    members,
+                    (
+                        batch_fn,
+                        [seeds[i] for i in members],
+                        [payloads[i] for i in members],
+                    ),
+                )
+            )
+        _log.debug(
+            "running %d trial(s) as %d batch(es) (max width %d, %s)",
+            count - cache_hits,
+            len(live),
+            max((len(m) for m, _p in live), default=0),
+            "inline" if self._workers is None else f"{self._workers} workers",
+        )
+        pool_rebuilds = 0
+        degraded = False
+        failures = 0
+        retries = 0
+        if live:
+            inner = TrialRunner(
+                _execute_batch,
+                workers=self._workers,
+                timeout=self._timeout,
+                chunk_size=self._chunk_size,
+                telemetry=_events.NullTelemetry(),
+                retry_policy=self._policy,
+                max_rebuilds=self._max_rebuilds,
+                rebuild_window_seconds=self._rebuild_window,
+            )
+            batch_results = inner.run(
+                [payload for _members, payload in live], seed=seed
+            )
+            inner_stats = inner.last_stats
+            pool_rebuilds = inner_stats.pool_rebuilds if inner_stats else 0
+            degraded = inner_stats.degraded if inner_stats else False
+            for (members, _payload), batch_result in zip(live, batch_results):
+                width = len(members)
+                retries += max(batch_result.attempts - 1, 0) * width
+                values = batch_result.value if batch_result.ok else None
+                if batch_result.ok and (
+                    not isinstance(values, (list, tuple))
+                    or len(values) != width
+                ):
+                    values = None
+                    batch_result = TrialResult(
+                        index=batch_result.index,
+                        value=None,
+                        attempts=batch_result.attempts,
+                        duration=0.0,
+                        error=TrialError(
+                            trial_index=batch_result.index,
+                            kind="invalid_result",
+                            message=(
+                                f"batch returned {type(batch_result.value).__name__} "
+                                f"instead of {width} member value(s)"
+                            ),
+                            attempts=batch_result.attempts,
+                        ),
+                    )
+                for position, index in enumerate(members):
+                    emitter.started(index, max(batch_result.attempts, 1))
+                    if values is None:
+                        error = batch_result.error
+                        results[index] = TrialResult(
+                            index=index,
+                            value=None,
+                            attempts=batch_result.attempts,
+                            duration=0.0,
+                            error=TrialError(
+                                trial_index=index,
+                                kind=error.kind,
+                                message=f"batch of {width}: {error.message}",
+                                attempts=error.attempts,
+                                traceback=error.traceback,
+                                elapsed_seconds=error.elapsed_seconds,
+                            ),
+                        )
+                    else:
+                        value = values[position]
+                        message = (
+                            self._validator(value)
+                            if self._validator is not None
+                            else None
+                        )
+                        if message is not None:
+                            results[index] = TrialResult(
+                                index=index,
+                                value=None,
+                                attempts=batch_result.attempts,
+                                duration=0.0,
+                                error=TrialError(
+                                    trial_index=index,
+                                    kind="invalid_result",
+                                    message=message,
+                                    attempts=batch_result.attempts,
+                                ),
+                            )
+                        else:
+                            results[index] = self._journal(
+                                cache,
+                                keys,
+                                TrialResult(
+                                    index=index,
+                                    value=value,
+                                    attempts=batch_result.attempts,
+                                    duration=batch_result.duration / width,
+                                ),
+                                emitter,
+                            )
+                    emitter.finished(results[index])
+        elapsed = time.perf_counter() - start
+        failures = sum(1 for r in results if not r.ok)
+        self._last_stats = TrialStats(
+            trials=count,
+            failures=failures,
+            retries=retries,
+            elapsed_seconds=elapsed,
+            workers=self._workers,
+            cache_hits=cache_hits,
+            pool_rebuilds=pool_rebuilds,
+            degraded=degraded,
+        )
+        _log.debug("batched run complete: %s", self._last_stats.summary())
         return results  # type: ignore[return-value]
 
     def run_values(

@@ -1,10 +1,28 @@
 """The paper's communication schemes (A, B, C) and the static baseline."""
 
 from .base import FlowResult, RoutingScheme
+from .batched import (
+    batched_scheme_c_attach,
+    batched_zone_access,
+    scheme_b_flow,
+    zone_pair_sessions,
+)
 from .scheme_a import SchemeA
 from .scheme_b import SchemeB
 from .scheme_c import SchemeC
 from .scheme_l import SchemeL
 from .static_multihop import StaticMultihop
 
-__all__ = ["FlowResult", "RoutingScheme", "SchemeA", "SchemeB", "SchemeC", "SchemeL", "StaticMultihop"]
+__all__ = [
+    "FlowResult",
+    "RoutingScheme",
+    "SchemeA",
+    "SchemeB",
+    "SchemeC",
+    "SchemeL",
+    "StaticMultihop",
+    "batched_scheme_c_attach",
+    "batched_zone_access",
+    "scheme_b_flow",
+    "zone_pair_sessions",
+]

@@ -1,5 +1,6 @@
 """Network assembly, traffic, flow analysis, and the packet-level simulator."""
 
+from .batch import run_lockstep
 from .engine import Packet, PacketRouter, SlottedSimulator
 from .maxflow import LinkCapacityGraph, session_max_flow, uniform_rate_bound
 from .metrics import SimulationMetrics
@@ -21,4 +22,5 @@ __all__ = [
     "SchemeARouter",
     "SchemeBRouter",
     "TwoHopRelayRouter",
+    "run_lockstep",
 ]

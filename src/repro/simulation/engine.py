@@ -155,6 +155,15 @@ class SlottedSimulator:
         self._elapsed = 0.0
         self._reference = reference
         self._index: Optional[IncrementalCellGridIndex] = None
+        # preallocated (ms + bs, 2) position buffer: the BS block is written
+        # once, per-slot combining copies only the moved MS rows
+        self._combined: Optional[np.ndarray] = None
+        # arrivals prefetched by run() as one (slots, n) Bernoulli matrix;
+        # only safe when the arrival stream is not interleaved with the
+        # mobility process's draws on a shared generator
+        self._arrival_rows: Optional[np.ndarray] = None
+        self._arrival_cursor = 0
+        self._rng_shared_with_process = getattr(process, "_rng", None) is rng
 
     # ------------------------------------------------------------------
     @property
@@ -167,8 +176,34 @@ class SlottedSimulator:
         """Live per-node packet queues (read for diagnostics)."""
         return self._queues
 
+    def _prefetch_arrivals(self, slots: int) -> None:
+        """Draw ``slots`` slots of Bernoulli arrivals in one RNG call.
+
+        A PCG64 ``random((slots, n))`` consumes the stream row-major,
+        exactly as ``slots`` successive ``random(n)`` calls would, so the
+        per-slot arrival pattern is bit-identical to unprefetched
+        stepping.  Skipped when the arrival generator is shared with the
+        mobility process (their draws interleave per slot, so a bulk draw
+        would reorder the stream).
+        """
+        if self._rng_shared_with_process:
+            return
+        self._arrival_rows = (
+            self._rng.random((slots, self.ms_count)) < self._arrival_prob
+        )
+        self._arrival_cursor = 0
+
+    def _clear_arrivals(self) -> None:
+        self._arrival_rows = None
+        self._arrival_cursor = 0
+
     def _spawn_packets(self) -> int:
-        arrivals = self._rng.random(self.ms_count) < self._arrival_prob
+        rows = self._arrival_rows
+        if rows is not None and self._arrival_cursor < rows.shape[0]:
+            arrivals = rows[self._arrival_cursor]
+            self._arrival_cursor += 1
+        else:
+            arrivals = self._rng.random(self.ms_count) < self._arrival_prob
         created = 0
         for source in np.nonzero(arrivals)[0]:
             packet = Packet(
@@ -215,18 +250,54 @@ class SlottedSimulator:
             self._index.update(positions, moved=moved)
         return self._index
 
+    def _combine(self, positions: np.ndarray, moved) -> np.ndarray:
+        """MS positions with the static BS block appended, without the
+        per-slot ``vstack``: the BS rows are written once into a
+        preallocated buffer and only the moved MS rows are copied per slot
+        (unmoved rows are bit-identical by the ``step_moved`` contract).
+        """
+        if self._static is None:
+            return positions
+        buffer = self._combined
+        if buffer is None:
+            buffer = self._combined = np.empty(
+                (self.ms_count + self._static.shape[0], 2), dtype=float
+            )
+            buffer[self.ms_count :] = self._static
+            buffer[: self.ms_count] = positions
+        elif moved is None:
+            buffer[: self.ms_count] = positions
+        else:
+            buffer[: self.ms_count][moved] = positions[moved]
+        return buffer
+
+    def _begin_slot(self):
+        """Advance mobility, combine positions, spawn arrivals.
+
+        Returns ``(positions, moved)`` for this slot's scheduling decision
+        -- the first half of :meth:`step`, split out so a lockstep batch
+        driver can interpose one ``schedule_batch`` call across
+        simulators.
+        """
+        positions, moved = self._process.step_moved()
+        positions = self._combine(positions, moved)
+        self._spawn_packets()
+        return positions, moved
+
     def step(self) -> None:
         """Advance the simulation by one slot."""
-        positions, moved = self._process.step_moved()
-        if self._static is not None:
-            positions = np.vstack([positions, self._static])
-        self._spawn_packets()
+        positions, moved = self._begin_slot()
         # One cell-grid index per slot over the advanced positions; the
         # scheduler runs its guard-zone queries against it instead of a
         # dense n x n distance matrix.
         schedule = self._scheduler.schedule(
             positions, index=self._slot_index(positions, moved)
         )
+        self._apply_schedule(schedule)
+
+    def _apply_schedule(self, schedule) -> None:
+        """Serve one slot's enabled pairs and advance wired transport --
+        the second half of :meth:`step`."""
         for a, b in schedule.pairs:
             # Each enabled pair serves one packet in each direction
             # (Definition 10 splits the bandwidth symmetrically).
@@ -251,8 +322,12 @@ class SlottedSimulator:
         if slots < 1:
             raise ValueError(f"need at least one slot, got {slots}")
         start = time.perf_counter()
-        for _ in range(slots):
-            self.step()
+        self._prefetch_arrivals(slots)
+        try:
+            for _ in range(slots):
+                self.step()
+        finally:
+            self._clear_arrivals()
         batch_elapsed = time.perf_counter() - start
         self._elapsed += batch_elapsed
         # One slot_batch event + one DEBUG line per run() call (not per
@@ -275,6 +350,10 @@ class SlottedSimulator:
             slots / batch_elapsed if batch_elapsed > 0 else float("nan"),
             len(self._delivered),
         )
+        return self._metrics()
+
+    def _metrics(self) -> SimulationMetrics:
+        """Cumulative metrics over every slot run so far."""
         in_flight = sum(len(queue) for queue in self._queues.values())
         delays = [
             packet.state["delivered_slot"] - packet.created_slot

@@ -230,9 +230,12 @@ class HybridNetwork:
             return self.c_t / math.sqrt(self.total_nodes)
         return self.realized.r * math.sqrt(self.realized.m / self.n)
 
-    def scheme_b(self, cells_per_side: Optional[int] = None) -> SchemeB:
-        """Routing scheme B, with squarelet zones in the strong regime and
-        cluster zones otherwise (Theorem 7)."""
+    def scheme_b_zones(self, cells_per_side: Optional[int] = None):
+        """The ``(ms_zone, bs_zone)`` assignment scheme B operates on:
+        squarelet zones in the strong regime, cluster zones otherwise
+        (Theorem 7).  Shared by :meth:`scheme_b` and the trial-batched
+        sweep path, which computes the access vectors for a whole batch
+        of realisations at once."""
         if self.bs_positions is None or self.backbone is None:
             raise ValueError("scheme B needs infrastructure")
         if self.parameters.regime is MobilityRegime.STRONG:
@@ -247,6 +250,11 @@ class HybridNetwork:
         else:
             ms_zone = self.home_model.assignment
             bs_zone = self._bs_cluster_assignment()
+        return ms_zone, bs_zone
+
+    def scheme_b(self, cells_per_side: Optional[int] = None) -> SchemeB:
+        """Routing scheme B over this network's zones."""
+        ms_zone, bs_zone = self.scheme_b_zones(cells_per_side)
         access = SchemeB.zone_access_vector(
             self.home_model.points,
             self.bs_positions,

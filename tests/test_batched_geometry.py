@@ -1,0 +1,144 @@
+"""Bit-identity and tolerance tests for the batched geometry kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.backend import get_backend
+from repro.geometry.neighbors import (
+    BatchedCellGridIndex,
+    CellGridIndex,
+    batched_masked_nearest,
+    masked_nearest,
+)
+from repro.geometry.torus import batched_pairwise_distances, pairwise_distances
+
+
+def stack_points(rng, batch, n, k=None):
+    points = rng.random((batch, n, 2))
+    others = None if k is None else rng.random((batch, k, 2))
+    return points, others
+
+
+class TestBatchedPairwiseDistances:
+    def test_slices_bit_identical_to_serial(self, rng):
+        points, others = stack_points(rng, 5, 40, 17)
+        out = batched_pairwise_distances(points, others)
+        assert out.shape == (5, 40, 17)
+        for b in range(5):
+            assert np.array_equal(out[b], pairwise_distances(points[b], others[b]))
+
+    def test_self_distances_match_serial(self, rng):
+        points, _ = stack_points(rng, 3, 25)
+        out = batched_pairwise_distances(points)
+        for b in range(3):
+            assert np.array_equal(out[b], pairwise_distances(points[b]))
+
+    def test_width_one_batch(self, rng):
+        points, _ = stack_points(rng, 1, 10)
+        out = batched_pairwise_distances(points)
+        assert np.array_equal(out[0], pairwise_distances(points[0]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        points=arrays(
+            np.float64,
+            (3, 8, 2),
+            elements=st.floats(0.0, 1.0, exclude_max=True, width=64),
+        )
+    )
+    def test_float32_within_declared_rtol(self, points):
+        backend = get_backend("numpy32")
+        exact = batched_pairwise_distances(points)
+        approx = backend.from_device(
+            batched_pairwise_distances(points, backend=backend)
+        )
+        assert approx.dtype == np.float32
+        # rtol gate is declared per kernel by the backend; torus distances
+        # are bounded by sqrt(2)/2 so an absolute cushion of the same order
+        # covers the catastrophic-cancellation-free regime
+        rtol = backend.tolerance("torus_distance")
+        assert np.allclose(approx, exact, rtol=rtol, atol=1e-6)
+
+
+class TestBatchedCellGridIndex:
+    @pytest.mark.parametrize("radius", [0.02, 0.08, 0.3, 0.9])
+    def test_pairs_within_matches_serial(self, rng, radius):
+        points = rng.random((4, 60, 2))
+        index = BatchedCellGridIndex(points)
+        batch_idx, i, j, dist = index.pairs_within(radius)
+        for b in range(4):
+            si, sj, sd = CellGridIndex(points[b]).pairs_within(radius)
+            mask = batch_idx == b
+            assert np.array_equal(i[mask], si)
+            assert np.array_equal(j[mask], sj)
+            assert np.array_equal(dist[mask], sd)
+
+    def test_small_n_dense_fallback_matches(self, rng):
+        points = rng.random((3, 8, 2))
+        index = BatchedCellGridIndex(points)
+        batch_idx, i, j, dist = index.pairs_within(0.4)
+        for b in range(3):
+            si, sj, sd = CellGridIndex(points[b]).pairs_within(0.4)
+            mask = batch_idx == b
+            assert np.array_equal(i[mask], si)
+            assert np.array_equal(dist[mask], sd)
+
+    def test_zero_radius_rejected_like_serial(self, rng):
+        index = BatchedCellGridIndex(rng.random((2, 20, 2)))
+        with pytest.raises(ValueError, match="radius"):
+            index.pairs_within(0.0)
+
+    def test_rejects_non_batched_shape(self, rng):
+        with pytest.raises(ValueError):
+            BatchedCellGridIndex(rng.random((20, 2)))
+
+    def test_len_and_batch(self, rng):
+        index = BatchedCellGridIndex(rng.random((3, 15, 2)))
+        assert len(index) == 15
+        assert index.batch == 3
+
+
+class TestBatchedMaskedNearest:
+    def test_matches_serial_per_slice(self, rng):
+        batch, n, k = 4, 50, 9
+        points = rng.random((batch, n, 2))
+        others = rng.random((batch, k, 2))
+        point_labels = rng.integers(0, 3, size=(batch, n))
+        other_labels = rng.integers(0, 3, size=(batch, k))
+        nearest, distance = batched_masked_nearest(
+            points, others, point_labels, other_labels
+        )
+        for b in range(batch):
+            sn, sd = masked_nearest(
+                points[b], others[b], point_labels[b], other_labels[b]
+            )
+            assert np.array_equal(nearest[b], sn)
+            assert np.array_equal(distance[b], sd)
+
+    def test_orphan_labels_surface_as_minus_one(self, rng):
+        batch, n, k = 2, 10, 4
+        points = rng.random((batch, n, 2))
+        others = rng.random((batch, k, 2))
+        point_labels = np.full((batch, n), 7)  # no BS carries label 7
+        other_labels = np.zeros((batch, k), dtype=int)
+        nearest, distance = batched_masked_nearest(
+            points, others, point_labels, other_labels
+        )
+        assert np.all(nearest == -1)
+        assert np.all(np.isinf(distance))
+
+    def test_tiny_chunks_change_nothing(self, rng):
+        batch, n, k = 3, 30, 5
+        points = rng.random((batch, n, 2))
+        others = rng.random((batch, k, 2))
+        labels_p = rng.integers(0, 2, size=(batch, n))
+        labels_o = rng.integers(0, 2, size=(batch, k))
+        full = batched_masked_nearest(points, others, labels_p, labels_o)
+        tiny = batched_masked_nearest(
+            points, others, labels_p, labels_o, chunk_size=4
+        )
+        assert np.array_equal(full[0], tiny[0])
+        assert np.array_equal(full[1], tiny[1])

@@ -1,0 +1,159 @@
+"""Batched scheduling: guard-zone kernel, scheduler batch path, lockstep."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.processes import IIDAroundHome
+from repro.mobility.shapes import UniformDiskShape
+from repro.observability.events import SlotBatch, using_telemetry
+from repro.observability import RecordingTelemetry
+from repro.simulation.batch import run_lockstep
+from repro.simulation.engine import PacketRouter, SlottedSimulator
+from repro.simulation.traffic import permutation_traffic
+from repro.wireless.protocol_model import ProtocolModel
+from repro.wireless.scheduler import (
+    GreedyMatchingScheduler,
+    PolicySStar,
+    TDMACellScheduler,
+    VariableRangeScheduler,
+)
+
+
+class FIFORouter(PacketRouter):
+    def select_transfer(self, queue, holder, peer):
+        return queue[0] if queue else None
+
+
+def make_sim(seed, n=40, arrival=0.15, scheduler=None, static=None):
+    rng = np.random.default_rng(seed)
+    homes = rng.random((n, 2))
+    process = IIDAroundHome(homes, UniformDiskShape(1.0), 0.3, rng)
+    total = n + (0 if static is None else len(static))
+    scheduler = scheduler or PolicySStar(node_count=total, c_t=0.4, delta=0.5)
+    traffic = permutation_traffic(rng, n)
+    return SlottedSimulator(
+        process=process,
+        scheduler=scheduler,
+        router=FIFORouter(),
+        traffic=traffic,
+        arrival_prob=arrival,
+        rng=rng,
+        static_positions=static,
+    )
+
+
+class TestStrictPairsBatch:
+    @pytest.mark.parametrize("radius", [0.03, 0.1, 0.4])
+    def test_matches_per_slice(self, rng, radius):
+        model = ProtocolModel(delta=0.5)
+        positions = rng.random((5, 50, 2))
+        batched = model.strict_pairs_batch(positions, radius)
+        for b in range(5):
+            assert batched[b] == model.strict_pairs(positions[b], radius)
+
+    def test_nonpositive_range_empty(self, rng):
+        model = ProtocolModel(delta=0.5)
+        assert model.strict_pairs_batch(rng.random((3, 10, 2)), 0.0) == [[], [], []]
+
+
+class TestSchedulerBatch:
+    def scheduler_cases(self, n):
+        return [
+            PolicySStar(node_count=n, c_t=0.4, delta=0.5),
+            VariableRangeScheduler(transmission_range=0.12, delta=0.5),
+            GreedyMatchingScheduler(transmission_range=0.15, delta=0.5),
+        ]
+
+    def test_batch_matches_per_slice(self, rng):
+        positions = rng.random((4, 45, 2))
+        for scheduler in self.scheduler_cases(45):
+            batched = scheduler.schedule_batch(positions)
+            for b in range(4):
+                serial = scheduler.schedule(positions[b])
+                assert batched[b].pairs == serial.pairs
+                assert batched[b].transmission_range == serial.transmission_range
+
+    def test_reference_mode_falls_back_and_matches(self, rng):
+        positions = rng.random((3, 20, 2))
+        fast = PolicySStar(node_count=20, c_t=0.4, delta=0.5)
+        reference = PolicySStar(node_count=20, c_t=0.4, delta=0.5, reference=True)
+        fast_batch = fast.schedule_batch(positions)
+        ref_batch = reference.schedule_batch(positions)
+        for b in range(3):
+            assert fast_batch[b].pairs == ref_batch[b].pairs
+
+    def test_batch_signatures(self):
+        sstar = PolicySStar(node_count=30)
+        assert sstar.batch_signature() is not None
+        assert sstar.batch_signature() == PolicySStar(node_count=30).batch_signature()
+        assert (
+            PolicySStar(node_count=30).batch_signature()
+            != PolicySStar(node_count=31).batch_signature()
+        )
+        assert VariableRangeScheduler(0.1).batch_signature() is not None
+        assert GreedyMatchingScheduler(0.1).batch_signature() is not None
+
+    def test_stateful_tdma_is_unshareable(self, rng):
+        cells = TDMACellScheduler(
+            cell_of_ms=np.zeros(10, dtype=int),
+            bs_colors=np.zeros(1, dtype=int),
+            ms_count=10,
+            cell_range=0.2,
+        )
+        assert cells.batch_signature() is None
+
+
+class TestRunLockstep:
+    def test_bit_identical_to_serial_runs(self):
+        lock = [make_sim(seed) for seed in (1, 2, 3)]
+        serial = [make_sim(seed) for seed in (1, 2, 3)]
+        lock_metrics = run_lockstep(lock, 30)
+        serial_metrics = [sim.run(30) for sim in serial]
+        for got, want in zip(lock_metrics, serial_metrics):
+            assert got.created == want.created
+            assert got.delivered == want.delivered
+            assert got.in_flight == want.in_flight
+            assert np.array_equal(got.delays, want.delays)
+
+    def test_emits_batch_width(self):
+        sims = [make_sim(seed) for seed in (5, 6, 7, 8)]
+        sink = RecordingTelemetry()
+        with using_telemetry(sink):
+            run_lockstep(sims, 10)
+        batches = sink.of_type(SlotBatch)
+        assert batches and batches[-1].batch_width == 4
+
+    def test_single_sim_falls_back_to_run(self):
+        sims = [make_sim(9)]
+        metrics = run_lockstep(sims, 12)
+        reference = make_sim(9).run(12)
+        assert metrics[0].created == reference.created
+        assert metrics[0].delivered == reference.delivered
+
+    def test_mixed_signatures_rejected(self):
+        sims = [
+            make_sim(1),
+            make_sim(2, scheduler=VariableRangeScheduler(0.1, delta=0.5)),
+        ]
+        with pytest.raises(ValueError, match="signature"):
+            run_lockstep(sims, 5)
+
+    def test_mismatched_node_counts_rejected(self):
+        sims = [make_sim(1, n=40), make_sim(2, n=50)]
+        with pytest.raises(ValueError):
+            run_lockstep(sims, 5)
+
+    def test_empty_and_invalid_slots(self):
+        assert run_lockstep([], 10) == []
+        with pytest.raises(ValueError):
+            run_lockstep([make_sim(1), make_sim(2)], 0)
+
+    def test_lockstep_with_static_stations(self):
+        static = np.random.default_rng(99).random((6, 2))
+        lock = [make_sim(seed, static=static) for seed in (11, 12)]
+        serial = [make_sim(seed, static=static) for seed in (11, 12)]
+        lock_metrics = run_lockstep(lock, 20)
+        serial_metrics = [sim.run(20) for sim in serial]
+        for got, want in zip(lock_metrics, serial_metrics):
+            assert got.created == want.created
+            assert got.delivered == want.delivered

@@ -1,0 +1,129 @@
+"""Engine vectorisation satellites: arrival prefetch + combined buffer.
+
+``run()`` now draws the whole ``(slots, n)`` Bernoulli arrival matrix up
+front (when the simulator's RNG is not shared with the mobility process)
+and reuses one preallocated MS+BS position buffer per slot.  Both are
+pure optimisations: every test here pins bit-identity against the
+step-by-step path, which still draws arrivals per slot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mobility.processes import IIDAroundHome, StaticProcess
+from repro.mobility.shapes import UniformDiskShape
+from repro.simulation.engine import PacketRouter, SlottedSimulator
+from repro.simulation.traffic import permutation_traffic
+from repro.wireless.scheduler import PolicySStar
+
+
+class FIFORouter(PacketRouter):
+    def select_transfer(self, queue, holder, peer):
+        return queue[0] if queue else None
+
+
+def make_sim(seed, n=50, arrival=0.2, shared_rng=True, static=None, mobile=True):
+    """One simulator; ``shared_rng`` shares the engine RNG with mobility."""
+    rng = np.random.default_rng(seed)
+    homes = rng.random((n, 2))
+    if mobile:
+        process_rng = rng if shared_rng else np.random.default_rng(seed + 1000)
+        process = IIDAroundHome(homes, UniformDiskShape(1.0), 0.3, process_rng)
+    else:
+        process = StaticProcess(homes)
+    total = n + (0 if static is None else len(static))
+    traffic = permutation_traffic(rng, n)
+    return SlottedSimulator(
+        process=process,
+        scheduler=PolicySStar(node_count=total, c_t=0.4, delta=0.5),
+        router=FIFORouter(),
+        traffic=traffic,
+        arrival_prob=arrival,
+        rng=rng,
+        static_positions=static,
+    )
+
+
+def metrics_digest(metrics):
+    return (
+        metrics.created,
+        metrics.delivered,
+        metrics.in_flight,
+        tuple(np.asarray(metrics.delays).tolist()),
+        tuple(np.asarray(metrics.hop_counts).tolist()),
+    )
+
+
+class TestArrivalPrefetch:
+    @pytest.mark.parametrize("shared_rng", [True, False])
+    def test_run_matches_step_loop(self, shared_rng):
+        """The prefetched arrival stream equals the per-slot stream."""
+        run_sim = make_sim(3, shared_rng=shared_rng)
+        step_sim = make_sim(3, shared_rng=shared_rng)
+        run_metrics = run_sim.run(40)
+        for _ in range(40):
+            step_sim.step()
+        assert metrics_digest(run_metrics) == metrics_digest(step_sim._metrics())
+
+    def test_prefetch_skipped_when_rng_shared(self):
+        sim = make_sim(4, shared_rng=True)
+        sim._prefetch_arrivals(10)
+        assert sim._arrival_rows is None
+
+    def test_prefetch_used_when_rng_separate(self):
+        sim = make_sim(4, shared_rng=False)
+        sim._prefetch_arrivals(10)
+        assert sim._arrival_rows is not None
+        assert sim._arrival_rows.shape == (10, sim.ms_count)
+        sim._clear_arrivals()
+        assert sim._arrival_rows is None
+
+    def test_static_process_prefetches(self):
+        run_sim = make_sim(5, mobile=False)
+        step_sim = make_sim(5, mobile=False)
+        run_metrics = run_sim.run(25)
+        for _ in range(25):
+            step_sim.step()
+        assert metrics_digest(run_metrics) == metrics_digest(step_sim._metrics())
+
+    def test_consecutive_runs_continue_the_stream(self):
+        """Two prefetched run() calls == one long run (stream continuity)."""
+        split = make_sim(6, shared_rng=False)
+        whole = make_sim(6, shared_rng=False)
+        split.run(15)
+        split_metrics = split.run(15)
+        whole_metrics = whole.run(30)
+        assert metrics_digest(split_metrics) == metrics_digest(whole_metrics)
+
+
+class TestCombinedBuffer:
+    def test_static_rows_preserved_across_slots(self):
+        static = np.random.default_rng(0).random((7, 2))
+        sim = make_sim(8, static=static)
+        for _ in range(5):
+            positions, _moved = sim._begin_slot()
+            assert np.array_equal(positions[sim.ms_count :], static)
+            sim._apply_schedule(sim._scheduler.schedule(positions))
+
+    def test_run_with_static_matches_step_loop(self):
+        static = np.random.default_rng(1).random((5, 2))
+        run_sim = make_sim(9, static=static, shared_rng=False)
+        step_sim = make_sim(9, static=static, shared_rng=False)
+        run_metrics = run_sim.run(30)
+        for _ in range(30):
+            step_sim.step()
+        assert metrics_digest(run_metrics) == metrics_digest(step_sim._metrics())
+
+    def test_buffer_is_reused(self):
+        static = np.random.default_rng(2).random((4, 2))
+        sim = make_sim(10, static=static)
+        first, _ = sim._begin_slot()
+        sim._apply_schedule(sim._scheduler.schedule(first))
+        second, _ = sim._begin_slot()
+        sim._apply_schedule(sim._scheduler.schedule(second))
+        assert first is second  # one preallocated MS+BS buffer
+
+    def test_no_static_passthrough(self):
+        sim = make_sim(11)
+        positions, _ = sim._begin_slot()
+        assert positions.shape == (sim.ms_count, 2)
