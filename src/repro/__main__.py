@@ -9,6 +9,10 @@ Commands
 ``sweep``      measure a capacity curve lambda(n) and fit its exponent
 ``reproduce``  regenerate the paper's artifacts into a results directory
 ``runs``       list/inspect/garbage-collect a persistent experiment store
+``serve``      query the store's run manifests, detect cross-run
+               regressions, and generate HTML/JSON reports (see
+               ``repro.serve``); ``runs list``/``runs show`` resolve
+               through the same incremental index
 
 ``sweep`` and ``reproduce`` accept ``--workers N`` to fan Monte-Carlo
 trials out over ``N`` processes (``0`` = all cores); results are
@@ -297,30 +301,36 @@ def _cmd_runs(args) -> int:
 
     store = RunStore(args.store)
     if args.action == "list":
-        runs = store.list_runs()
-        if not runs:
+        # rewired through the serve index: one stat per manifest instead of
+        # one JSON parse, and newest-first by the created_ts epoch float.
+        index = store.serve_index()
+        index.refresh()
+        records = index.records()
+        if not records:
             print(f"no runs recorded in {args.store}")
             return 0
         rows = []
-        for run in runs:
-            stats = run.get("stats") or {}
-            trials = stats.get("trials", len(run.get("trial_keys", [])))
+        for record in records:
+            tps = record.fresh_trials_per_second
             rows.append(
                 [
-                    run.get("run_id", "?"),
-                    run.get("command", "?"),
-                    run.get("created", "?"),
-                    str(trials),
-                    str(stats.get("cache_hits", 0)),
-                    (run.get("digest") or "-")[:12],
-                    (run.get("provenance") or {}).get("git_sha", "?")[:12],
+                    record.run_id,
+                    record.command,
+                    record.created,
+                    record.status,
+                    str(record.trials),
+                    str(record.cache_hits),
+                    "-" if tps is None else f"{tps:.2f}",
+                    (record.digest or "-")[:12],
+                    (record.git_sha or "?")[:12],
                 ]
             )
         print(render_table(
-            ["run id", "command", "created", "trials", "hits", "digest", "git"],
+            ["run id", "command", "created", "status", "trials", "hits",
+             "fresh t/s", "digest", "git"],
             rows,
         ))
-        print(f"{len(runs)} run(s), {len(store)} journaled trial(s)")
+        print(f"{len(records)} run(s), {len(store)} journaled trial(s)")
         return 0
     if args.action == "show":
         if not args.run_id:
@@ -342,6 +352,112 @@ def _cmd_runs(args) -> int:
             print(f"quarantine sidecar: {store.corrupt_path}")
         return 0
     print(f"unknown runs action {args.action!r}", file=sys.stderr)
+    return 2
+
+
+def _serve_spec(args):
+    """CLI serve filter flags -> QuerySpec."""
+    from .serve import QuerySpec
+
+    parameters = {}
+    for item in args.param or []:
+        name, sep, value = item.partition("=")
+        if not sep or not name or not value:
+            raise ValueError(
+                f"--param expects NAME=FRACTION, got {item!r}"
+            )
+        parameters[name] = value
+    return QuerySpec(
+        command=args.command_filter,
+        scheme=args.scheme,
+        status=args.status,
+        alpha=args.alpha,
+        parameters=parameters,
+        min_n=args.min_n,
+        max_n=args.max_n,
+        digest=args.digest,
+        family=args.family,
+        backend=args.backend,
+        latest_schema=args.latest_schema,
+        limit=args.limit,
+    )
+
+
+def _cmd_serve(args) -> int:
+    """Query the run store, detect regressions, generate reports.
+
+    ``serve regress`` exits 0 when clean and 3 when regressions were
+    found, so CI can gate on it directly.
+    """
+    import json as json_module
+
+    from .serve import build_report, detect_regressions, run_query, write_report
+    from .store import RunStore
+    from .utils.tables import render_table
+
+    store = RunStore(args.store)
+    index = store.serve_index()
+    spec = _serve_spec(args)
+
+    if args.action == "query":
+        records = run_query(index, spec)
+        if args.json:
+            print(json_module.dumps(
+                [record.to_jsonable() for record in records], indent=2
+            ))
+            return 0
+        if not records:
+            print(f"no runs in {args.store} match the query")
+            return 0
+        rows = []
+        for record in records:
+            tps = record.fresh_trials_per_second
+            rows.append(
+                [
+                    record.run_id,
+                    record.command,
+                    record.scheme or "-",
+                    ",".join(str(n) for n in record.n_values) or "-",
+                    record.status,
+                    str(record.trials),
+                    "-" if tps is None else f"{tps:.2f}",
+                    (record.digest or "-")[:12],
+                    record.family[:12],
+                ]
+            )
+        print(render_table(
+            ["run id", "command", "scheme", "n grid", "status", "trials",
+             "fresh t/s", "digest", "family"],
+            rows,
+        ))
+        print(f"{len(records)} of {len(index)} run(s) matched")
+        return 0
+
+    if args.action == "regress":
+        report = detect_regressions(index, slowdown_threshold=args.slowdown)
+        if args.json:
+            print(json_module.dumps(report.to_jsonable(), indent=2))
+        else:
+            print(report.summary())
+            for finding in report.regressions:
+                print(f"  {finding.summary()}")
+        return 0 if report.ok else 3
+
+    if args.action == "report":
+        report = build_report(
+            index, spec, slowdown_threshold=args.slowdown,
+            title=f"repro results: {args.store}",
+        )
+        out = args.out
+        if out is None:
+            suffix = "html" if args.format != "json" else "json"
+            out = str(store.root / "serve" / f"report.{suffix}")
+        path = write_report(report, out, fmt=args.format)
+        print(report["summary"])
+        print(f"wrote {path}")
+        return 0
+
+    print(f"unknown serve action {args.action!r}", file=sys.stderr)
     return 2
 
 
@@ -540,6 +656,57 @@ def main(argv=None) -> int:
         "compaction-only pass explicit: 'runs gc --compact')",
     )
     cmd.set_defaults(func=_cmd_runs)
+
+    cmd = commands.add_parser(
+        "serve", help="query stored runs, detect regressions, build reports"
+    )
+    cmd.add_argument("action", choices=["query", "regress", "report"])
+    cmd.add_argument("--store", default="results", metavar="DIR",
+                     help="store directory (default: results)")
+    cmd.add_argument("--command", dest="command_filter", default=None,
+                     metavar="NAME",
+                     help="filter: experiment command (sweep, figure1, ...)")
+    cmd.add_argument("--scheme", default=None,
+                     help="filter: routing scheme recorded in the run config")
+    cmd.add_argument("--status", default=None,
+                     choices=["completed", "partial", "interrupted"],
+                     help="filter: run completion status")
+    cmd.add_argument("--alpha", default=None, metavar="FRACTION",
+                     help="filter: network extension exponent "
+                     "(fraction-compared: 1/4 == 0.25)")
+    cmd.add_argument("--param", action="append", default=None,
+                     metavar="NAME=FRACTION",
+                     help="filter: any parameter exponent by name "
+                     "(repeatable, e.g. --param bs_exponent=1/2)")
+    cmd.add_argument("--min-n", type=int, default=None, metavar="N",
+                     help="filter: at least one grid point >= N")
+    cmd.add_argument("--max-n", type=int, default=None, metavar="N",
+                     help="filter: at least one grid point <= N")
+    cmd.add_argument("--digest", default=None, metavar="PREFIX",
+                     help="filter: result digest prefix")
+    cmd.add_argument("--family", default=None, metavar="PREFIX",
+                     help="filter: cache-key family prefix")
+    cmd.add_argument("--backend", default=None, metavar="NAME",
+                     help="filter: array backend recorded in the run config")
+    cmd.add_argument("--latest-schema", action="store_true",
+                     help="filter: only runs on the newest schema version "
+                     "present in the index")
+    cmd.add_argument("--limit", type=int, default=None, metavar="N",
+                     help="truncate the (newest-first) match list")
+    cmd.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON instead of a table")
+    cmd.add_argument("--slowdown", type=float, default=0.5, metavar="FRACTION",
+                     help="regress/report: flag a performance regression "
+                     "when fresh trials/s falls below (1 - FRACTION) of the "
+                     "prior-run median (default 0.5); cached trials are "
+                     "always excluded")
+    cmd.add_argument("--out", default=None, metavar="PATH",
+                     help="report: output file (default "
+                     "STORE/serve/report.html)")
+    cmd.add_argument("--format", default=None, choices=["html", "json"],
+                     help="report: output format (default: from the --out "
+                     "suffix, html otherwise)")
+    cmd.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

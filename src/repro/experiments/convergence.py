@@ -162,6 +162,8 @@ def windowed_slopes(
             parameters=parameters,
             trial_keys=keys,
             digest=content_digest([float(rate) for rate in rates]),
+            durations=[result.duration for result in results],
+            cached=[result.cached for result in results],
             stats=runner.last_stats,
             status="partial" if failures else "completed",
         )

@@ -214,7 +214,11 @@ def compare_delays(
             },
             parameters=parameters,
             trial_keys=keys,
-            durations=[outcome["elapsed_seconds"] for outcome in outcomes],
+            # runner-side durations (aligned with trial_keys even on a
+            # partial run, unlike the per-outcome sim timings) plus the
+            # cached mask so throughput stats can exclude replayed trials
+            durations=[result.duration for result in results],
+            cached=[result.cached for result in results],
             stats=runner.last_stats,
             status="partial" if len(outcomes) < len(results) else "completed",
         )

@@ -165,6 +165,8 @@ def make_panels(
                 "workers": workers,
             },
             trial_keys=keys,
+            durations=[result.duration for result in results],
+            cached=[result.cached for result in results],
             stats=runner.last_stats,
             status="partial" if len(panels) < len(results) else "completed",
         )

@@ -164,6 +164,8 @@ def trace_scheme_b_sessions(
             },
             parameters=parameters,
             trial_keys=keys,
+            durations=[result.duration for result in results],
+            cached=[result.cached for result in results],
             stats=runner.last_stats,
             status="partial" if len(traces) < len(results) else "completed",
         )

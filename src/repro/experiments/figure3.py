@@ -187,6 +187,8 @@ def simulated_spot_checks(
                 "workers": workers,
             },
             trial_keys=keys,
+            durations=[result.duration for result in results],
+            cached=[result.cached for result in results],
             stats=runner.last_stats,
             status="partial" if len(checks) < len(results) else "completed",
         )

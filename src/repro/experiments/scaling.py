@@ -574,6 +574,7 @@ def sweep_capacity(
             trial_keys=keys,
             digest=sweep.digest(),
             durations=[trial_result.duration for trial_result in results],
+            cached=[trial_result.cached for trial_result in results],
             stats=runner.last_stats,
             status="partial" if failures else "completed",
         )

@@ -15,8 +15,9 @@ measurement substrate those runs report through:
   (``trial_started`` / ``trial_finished`` / ``trial_cached`` /
   ``trial_failed``, the resilience lifecycle ``trial_retried`` /
   ``fault_injected`` / ``pool_rebuilt`` / ``degraded_to_serial``,
-  ``sweep_progress``, ``slot_batch``, ``journal_appended``, ``span``)
-  plus the :class:`Telemetry` sink protocol.  The process-wide current sink defaults to
+  ``sweep_progress``, ``slot_batch``, ``journal_appended``, the serve
+  layer's ``index_refreshed`` / ``query_executed`` / ``regression_scan``,
+  ``span``) plus the :class:`Telemetry` sink protocol.  The process-wide current sink defaults to
   :class:`NullTelemetry` (zero overhead: instrumented hot paths check
   ``sink.enabled`` before building events) and is swapped with
   :func:`set_telemetry` / :func:`using_telemetry`.
@@ -38,10 +39,13 @@ from .events import (
     CompositeTelemetry,
     DegradedToSerial,
     FaultInjected,
+    IndexRefreshed,
     JournalAppended,
     NullTelemetry,
     PoolRebuilt,
+    QueryExecuted,
     RecordingTelemetry,
+    RegressionScan,
     SlotBatch,
     SpanFinished,
     SweepProgress,
@@ -66,13 +70,16 @@ __all__ = [
     "CompositeTelemetry",
     "DegradedToSerial",
     "FaultInjected",
+    "IndexRefreshed",
     "JournalAppended",
     "JsonLogFormatter",
     "JsonlTraceSink",
     "NullTelemetry",
     "PoolRebuilt",
     "ProgressRenderer",
+    "QueryExecuted",
     "RecordingTelemetry",
+    "RegressionScan",
     "SlotBatch",
     "SpanFinished",
     "SweepProgress",

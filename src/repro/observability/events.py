@@ -37,6 +37,9 @@ __all__ = [
     "SlotBatch",
     "BackendSelected",
     "JournalAppended",
+    "IndexRefreshed",
+    "QueryExecuted",
+    "RegressionScan",
     "SpanFinished",
     "Telemetry",
     "NullTelemetry",
@@ -223,6 +226,49 @@ class JournalAppended(TelemetryEvent):
     key: str
     bytes: int
     duration: float
+
+
+@dataclass(frozen=True)
+class IndexRefreshed(TelemetryEvent):
+    """The serve index reconciled itself against the manifest directory.
+
+    ``manifests`` is the number of manifests on disk after the refresh;
+    ``parsed`` counts how many were actually (re-)read -- the incremental
+    path parses only new or changed files -- and ``removed`` how many
+    indexed entries vanished from disk.
+    """
+
+    EVENT: ClassVar[str] = "index_refreshed"
+    manifests: int
+    parsed: int
+    removed: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class QueryExecuted(TelemetryEvent):
+    """One serve query ran against the index."""
+
+    EVENT: ClassVar[str] = "query_executed"
+    matched: int
+    total: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class RegressionScan(TelemetryEvent):
+    """One cross-run regression detection pass completed.
+
+    ``regressions`` counts confirmed findings (digest drifts plus
+    slowdowns) across ``families`` cache-key families covering ``runs``
+    comparable manifests.
+    """
+
+    EVENT: ClassVar[str] = "regression_scan"
+    families: int
+    runs: int
+    regressions: int
+    elapsed_seconds: float
 
 
 @dataclass(frozen=True)

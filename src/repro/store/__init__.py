@@ -26,7 +26,14 @@ Layers:
 
 from .keys import TrialSeed, canonical_json, content_digest, trial_key
 from .provenance import collect_provenance
-from .runstore import CachedTrial, GCStats, RunStore, UnserializableValue, open_store
+from .runstore import (
+    CachedTrial,
+    GCStats,
+    RunStore,
+    UnserializableValue,
+    manifest_sort_key,
+    open_store,
+)
 from .serialize import (
     SCHEMA_VERSION,
     from_jsonable,
@@ -46,6 +53,7 @@ __all__ = [
     "collect_provenance",
     "content_digest",
     "from_jsonable",
+    "manifest_sort_key",
     "open_store",
     "register_payload",
     "schema_fingerprint",

@@ -33,6 +33,7 @@ cache instead of decoding stale shapes.
 
 from __future__ import annotations
 
+import datetime
 import json
 import math
 import os
@@ -52,6 +53,7 @@ __all__ = [
     "GCStats",
     "RunStore",
     "UnserializableValue",
+    "manifest_sort_key",
     "open_store",
 ]
 
@@ -111,6 +113,46 @@ class GCStats:
         return text
 
 
+def _created_timestamp(run: dict) -> float:
+    """Best-effort epoch seconds a manifest was recorded at.
+
+    Prefers the monotonic-enough ``created_ts`` float; legacy manifests
+    that predate it fall back to parsing the ``created`` local-time string
+    (with its UTC offset when one was recorded).  Unparseable manifests
+    sort to the epoch rather than raising.
+    """
+    ts = run.get("created_ts")
+    if ts is not None:
+        try:
+            return float(ts)
+        except (TypeError, ValueError):
+            pass
+    created = run.get("created") or ""
+    for fmt in ("%Y-%m-%dT%H:%M:%S%z", "%Y-%m-%dT%H:%M:%S"):
+        try:
+            parsed = datetime.datetime.strptime(created, fmt)
+        except (TypeError, ValueError):
+            continue
+        try:
+            return parsed.timestamp()
+        except (OSError, OverflowError, ValueError):
+            return 0.0
+    return 0.0
+
+
+def manifest_sort_key(run: dict) -> tuple:
+    """Sort key ordering run manifests oldest-to-newest.
+
+    The ``created_ts`` epoch float is the primary key -- unlike the
+    ``created`` local-time string it is immune to DST jumps, timezone
+    changes and hosts with different local clocks.  The string is only a
+    fallback for legacy manifests that lack the float; ties (same resolved
+    timestamp and string) are left to the caller's stable sort, so
+    same-second manifests keep their scan order.
+    """
+    return (_created_timestamp(run), run.get("created") or "")
+
+
 class RunStore:
     """Content-addressed trial cache + run manifests in one directory.
 
@@ -138,6 +180,7 @@ class RunStore:
         self._skipped_lines = 0
         self._last_quarantined = 0
         self._journal_handle: Optional[IO[str]] = None
+        self._serve_index: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # cache interface (used by TrialRunner)
@@ -344,15 +387,20 @@ class RunStore:
         trial_keys: Optional[Sequence[Optional[str]]] = None,
         digest: Optional[str] = None,
         durations: Optional[Sequence[float]] = None,
+        cached: Optional[Sequence[bool]] = None,
         stats: Any = None,
         status: str = "completed",
     ) -> str:
         """Write one run manifest (atomic) and return its ``run_id``.
 
         ``stats`` accepts a :class:`repro.parallel.TrialStats`;
-        ``durations`` are the per-trial wall-clock seconds (0 for cached
-        trials), aligned with ``trial_keys``.  ``status`` records how the
-        run ended: ``"completed"``, ``"partial"`` (failures tolerated under
+        ``durations`` are the per-trial wall-clock seconds aligned with
+        ``trial_keys``, and ``cached`` is the parallel mask marking trials
+        served from the journal instead of executed (a cached trial's
+        duration replays the *original* execution's seconds, so throughput
+        statistics must exclude masked entries -- see
+        :mod:`repro.serve.regress`).  ``status`` records how the run ended:
+        ``"completed"``, ``"partial"`` (failures tolerated under
         ``min_success_fraction``) or ``"interrupted"`` (drained on
         SIGINT/SIGTERM; the journaled trials make the re-invocation a
         resume).  Non-finite durations are recorded as 0.0 -- the manifest
@@ -363,6 +411,14 @@ class RunStore:
         for duration in durations or []:
             duration = float(duration)
             clean_durations.append(duration if math.isfinite(duration) else 0.0)
+        cached_mask: Optional[List[bool]] = None
+        if cached is not None:
+            cached_mask = [bool(flag) for flag in cached]
+            if len(cached_mask) != len(clean_durations):
+                raise ValueError(
+                    f"cached mask length {len(cached_mask)} does not match "
+                    f"{len(clean_durations)} duration(s)"
+                )
         manifest = {
             "run_id": run_id,
             "command": command,
@@ -378,6 +434,8 @@ class RunStore:
             "digest": digest,
             "durations": clean_durations,
         }
+        if cached_mask is not None:
+            manifest["cached"] = cached_mask
         if stats is not None:
             manifest["stats"] = {
                 "trials": stats.trials,
@@ -402,32 +460,52 @@ class RunStore:
         return run_id
 
     def list_runs(self) -> List[dict]:
-        """All readable manifests, newest first."""
+        """All readable manifests, newest first.
+
+        Ordered by :func:`manifest_sort_key`: the ``created_ts`` epoch
+        float is primary (stable across DST changes, timezone changes and
+        differing host clocks), the local-time ``created`` string only a
+        fallback for legacy manifests, and full ties keep the
+        deterministic filename scan order (the sort is stable).
+        """
         runs = []
-        for path in (self.root / self.RUNS_DIR).glob("*.json"):
+        for path in sorted((self.root / self.RUNS_DIR).glob("*.json")):
             try:
                 runs.append(json.loads(path.read_text()))
             except (json.JSONDecodeError, OSError):
                 continue
-        runs.sort(
-            key=lambda run: (run.get("created", ""), run.get("created_ts", 0.0)),
-            reverse=True,
-        )
+        runs.sort(key=manifest_sort_key, reverse=True)
         return runs
 
+    def serve_index(self):
+        """The lazily-built serve index over this store's manifests
+        (:class:`repro.serve.index.RunIndex`), shared across calls."""
+        if self._serve_index is None:
+            # lazy import: repro.serve layers *above* the store and imports
+            # it at module scope; importing it here avoids the cycle.
+            from ..serve.index import RunIndex
+
+            self._serve_index = RunIndex(self.root)
+        return self._serve_index
+
     def load_run(self, run_id: str) -> dict:
-        """One manifest by id (prefix match accepted when unambiguous)."""
-        matches = [
-            run
-            for run in self.list_runs()
-            if run.get("run_id", "").startswith(run_id)
-        ]
-        if not matches:
-            raise KeyError(f"no stored run matches {run_id!r}")
-        if len(matches) > 1:
-            ids = ", ".join(run["run_id"] for run in matches)
-            raise KeyError(f"run id {run_id!r} is ambiguous: {ids}")
-        return matches[0]
+        """One manifest by id (prefix match accepted when unambiguous).
+
+        Prefixes resolve through the serve index -- an incremental stat
+        scan plus a parse of only the new or changed manifests -- and the
+        resolved manifest is the *single* JSON file read, instead of the
+        historical re-read-and-re-sort of every manifest per call.
+        """
+        index = self.serve_index()
+        index.refresh()
+        resolved = index.resolve(run_id)
+        path = self.root / self.RUNS_DIR / f"{resolved}.json"
+        try:
+            return json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            raise KeyError(
+                f"no stored run matches {run_id!r} (manifest unreadable: {exc})"
+            ) from exc
 
     # ------------------------------------------------------------------
     # garbage collection
@@ -449,14 +527,25 @@ class RunStore:
         if keep is not None:
             if keep < 0:
                 raise ValueError(f"keep must be >= 0, got {keep}")
+            survivors = runs[:keep]
             for run in runs[keep:]:
                 path = self.root / self.RUNS_DIR / f"{run['run_id']}.json"
                 try:
                     path.unlink()
                     removed += 1
-                except OSError:
-                    pass
-            runs = runs[:keep]
+                except FileNotFoundError:
+                    # already gone (concurrent gc): nothing was removed by
+                    # this pass, and there is nothing left to reference.
+                    continue
+                except OSError as exc:
+                    # the manifest is still on disk: do NOT count it as
+                    # removed, and keep its trial keys referenced so a
+                    # drop_orphans pass cannot strand a live manifest.
+                    _log.warning(
+                        "gc could not remove manifest %s: %s", path, exc
+                    )
+                    survivors.append(run)
+            runs = survivors
         referenced = set()
         for run in runs:
             referenced.update(key for key in run.get("trial_keys", []) if key)

@@ -162,6 +162,113 @@ class TestRuns:
         assert "store error" in capsys.readouterr().err
 
 
+class TestServe:
+    def seed_store(self, tmp_path, capsys, runs=2):
+        """Two identical sweeps into one store: the second replays the
+        journal, so the pair is digest-identical with the rerun fully
+        cached -- the canonical regression-scan population."""
+        store = str(tmp_path / "results")
+        for _ in range(runs):
+            sweep_output(capsys, ["--store", store])
+        return store
+
+    def test_query_finds_both_runs_with_identical_digests(
+        self, tmp_path, capsys
+    ):
+        store = self.seed_store(tmp_path, capsys)
+        assert main(["serve", "query", "--store", store, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2
+        assert records[0]["digest"] == records[1]["digest"]
+        assert records[0]["family"] == records[1]["family"]
+        # the fully-cached rerun (newest first) makes no throughput claim
+        assert records[0]["fresh_trials"] == 0
+        assert records[1]["fresh_trials"] == 2
+
+    def test_query_table_output(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys)
+        assert main([
+            "serve", "query", "--store", store,
+            "--command", "sweep", "--scheme", "A", "--min-n", "150",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run id" in out and "family" in out
+        assert "2 of 2 run(s) matched" in out
+
+    def test_query_without_matches_says_so(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys, runs=1)
+        assert main([
+            "serve", "query", "--store", store, "--command", "figure1",
+        ]) == 0
+        assert "match the query" in capsys.readouterr().out
+
+    def test_malformed_param_filter_exits_2(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys, runs=1)
+        assert main([
+            "serve", "query", "--store", store, "--param", "alpha",
+        ]) == 2
+        assert "NAME=FRACTION" in capsys.readouterr().err
+
+    def test_regress_clean_pair_exits_0(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys)
+        assert main(["serve", "regress", "--store", store]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def inject_drift(self, store):
+        """Rewrite the newest manifest's digest, simulating a behaviour
+        change that landed without a schema bump."""
+        import pathlib
+
+        from repro.store import RunStore
+
+        run = RunStore(store).list_runs()[0]
+        path = pathlib.Path(store) / RunStore.RUNS_DIR / f"{run['run_id']}.json"
+        run["digest"] = "b" * 64
+        path.write_text(json.dumps(run, indent=2))
+
+    def test_regress_flags_injected_drift_with_exit_3(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys)
+        self.inject_drift(store)
+        assert main(["serve", "regress", "--store", store]) == 3
+        out = capsys.readouterr().out
+        assert "digest-drift" in out
+        assert "1 regression(s)" in out
+
+    def test_regress_json_output(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys)
+        self.inject_drift(store)
+        assert main(["serve", "regress", "--store", store, "--json"]) == 3
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["regressions"][0]["kind"] == "digest-drift"
+
+    def test_report_writes_valid_json(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys)
+        out_path = tmp_path / "report.json"
+        assert main([
+            "serve", "report", "--store", store,
+            "--format", "json", "--out", str(out_path),
+        ]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["total_runs"] == 2
+        assert report["regressions"]["ok"] is True
+
+    def test_report_default_path_is_html_in_store(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys, runs=1)
+        assert main(["serve", "report", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        page = (tmp_path / "results" / "serve" / "report.html").read_text()
+        assert page.startswith("<!DOCTYPE html>")
+
+    def test_invalid_slowdown_threshold_exits_2(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, capsys, runs=1)
+        assert main([
+            "serve", "regress", "--store", store, "--slowdown", "2",
+        ]) == 2
+        assert "invalid arguments" in capsys.readouterr().err
+
+
 def read_trace(directory):
     """Parse the single trace file in ``directory`` into records."""
     files = sorted(directory.glob("trace-*.jsonl"))

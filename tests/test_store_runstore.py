@@ -131,6 +131,65 @@ class TestManifests:
         assert len(runs) == 2
         assert runs[0]["created"] >= runs[1]["created"]
 
+    def test_same_second_runs_keep_recording_order(self, tmp_path):
+        """Back-to-back record_run calls share a wall-clock second (the
+        ``created`` string is identical); the sub-second ``created_ts``
+        float must still order them newest-first."""
+        store = RunStore(tmp_path)
+        ids = [store.record_run(f"run-{index}") for index in range(3)]
+        listed = [run["run_id"] for run in store.list_runs()]
+        assert listed == ids[::-1]
+
+    def write_manifest(self, tmp_path, run_id, created, created_ts=None):
+        manifest = {"run_id": run_id, "command": "sweep", "created": created}
+        if created_ts is not None:
+            manifest["created_ts"] = created_ts
+        path = tmp_path / RunStore.RUNS_DIR / f"{run_id}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(manifest))
+
+    def test_created_ts_beats_created_string(self, tmp_path):
+        """Across a DST fall-back the local-time strings sort backwards;
+        the epoch float is authoritative."""
+        self.write_manifest(
+            tmp_path, "run-early", "2026-11-01T01:30:00-0400", 1000.0
+        )
+        self.write_manifest(
+            tmp_path, "run-late", "2026-11-01T01:15:00-0500", 3700.0
+        )
+        listed = [run["run_id"] for run in RunStore(tmp_path).list_runs()]
+        assert listed == ["run-late", "run-early"]
+
+    def test_legacy_manifest_sorts_by_parsed_created(self, tmp_path):
+        """Manifests that predate ``created_ts`` fall back to parsing the
+        ``created`` string (with or without a UTC offset) instead of
+        sorting to the bottom."""
+        store = RunStore(tmp_path)
+        new_id = store.record_run("recent")
+        self.write_manifest(tmp_path, "run-legacy", "2001-01-01T00:00:00")
+        self.write_manifest(
+            tmp_path, "run-legacy-tz", "2011-01-01T00:00:00+0000"
+        )
+        listed = [run["run_id"] for run in store.list_runs()]
+        assert listed == [new_id, "run-legacy-tz", "run-legacy"]
+
+    def test_cached_mask_roundtrips(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.record_run(
+            "sweep", durations=[0.1, 0.2], cached=[True, False]
+        )
+        assert store.load_run(run_id)["cached"] == [True, False]
+
+    def test_cached_mask_omitted_for_legacy_callers(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.record_run("sweep", durations=[0.1])
+        assert "cached" not in store.load_run(run_id)
+
+    def test_cached_mask_length_mismatch_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(ValueError, match="cached mask length"):
+            store.record_run("sweep", durations=[0.1, 0.2], cached=[True])
+
 
 class TestGC:
     def test_keep_prunes_manifests(self, tmp_path):
@@ -185,6 +244,40 @@ class TestGC:
     def test_negative_keep_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             RunStore(tmp_path).gc(keep=-1)
+
+    def test_failed_unlink_not_counted_as_removed(self, tmp_path, monkeypatch):
+        """An EPERM/EBUSY unlink used to be silently swallowed while the
+        manifest stayed on disk, overcounting ``runs_removed`` -- and a
+        ``drop_orphans`` pass would then strand the live manifest's journal
+        entries.  Failed victims must stay referenced and uncounted."""
+        import pathlib
+
+        store = RunStore(tmp_path)
+        victim_key, survivor_key = key_for(0), key_for(1)
+        store.put(victim_key, 1.0, 0.0)
+        store.put(survivor_key, 2.0, 0.0)
+        victim_id = store.record_run("sweep", trial_keys=[victim_key])
+        store.record_run("sweep", trial_keys=[victim_key])
+        store.record_run("sweep", trial_keys=[survivor_key])
+
+        real_unlink = pathlib.Path.unlink
+
+        def stubborn_unlink(self, *args, **kwargs):
+            if self.name == f"{victim_id}.json":
+                raise PermissionError(f"unlink forbidden: {self}")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "unlink", stubborn_unlink)
+        stats = store.gc(keep=1, drop_orphans=True)
+        # two victims attempted, one failed: only one actually removed
+        assert stats.runs_removed == 1
+        listed = {run["run_id"] for run in store.list_runs()}
+        assert victim_id in listed and len(listed) == 2
+        # the undeletable manifest's trial keys stayed referenced, so its
+        # journal entry survived the orphan drop
+        fresh = RunStore(tmp_path)
+        assert fresh.get(victim_key) is not None
+        assert fresh.get(survivor_key) is not None
 
 
 class TestOpenStore:
