@@ -24,7 +24,11 @@ from ..core.capacity import (
 )
 from ..core.order import Order
 from ..core.regimes import MobilityRegime, NetworkParameters
-from ..observability.events import BackendSelected, get_telemetry
+from ..observability.events import (
+    BackendSelected,
+    BatchDegradedToSerial,
+    get_telemetry,
+)
 from ..observability.log import get_logger
 from ..observability.timing import span
 from ..parallel import BatchedTrialPlan, TrialRunner, TrialStats
@@ -366,6 +370,7 @@ def sweep_capacity(
     resilience: Optional[ResilienceConfig] = None,
     batch_trials: Optional[int] = None,
     backend: Optional[str] = None,
+    executor=None,
 ) -> SweepResult:
     """Measure ``lambda(n)`` over a grid of ``n`` and fit the exponent.
 
@@ -419,6 +424,13 @@ def sweep_capacity(
     ``batch_trials`` (only the batched kernels are backend-aware), fold
     into the trial cache keys, and stamp :attr:`SweepResult.backend` so
     their digests never collide with canonical results.
+
+    ``executor`` (a :class:`repro.parallel.SweepExecutor`, e.g.
+    :class:`repro.fabric.FabricExecutor`) replaces the in-process trial
+    fan-out with an alternative execution substrate.  Executors preserve
+    the determinism contract -- per-trial seeds derive from the master
+    ``seed`` by global index -- so the sweep digest is identical no
+    matter where the trials ran.
     """
     if scheme not in SCHEME_SELECTORS:
         raise ValueError(
@@ -465,10 +477,31 @@ def sweep_capacity(
         getattr(store, "root", None), batch_trials, resolved_backend.name,
     )
     resilience = resilience if resilience is not None else ResilienceConfig()
+    if batch_trials is not None and scheme not in ("B", "C"):
+        # _batched_sweep_trial runs these schemes member-by-member: the
+        # user asked for batching but gets serial execution inside each
+        # batch.  Say so -- silently honouring the flag reads as a perf
+        # win that is not happening.
+        _log.warning(
+            "scheme %r has no batched flow kernel; batch_trials=%d will "
+            "execute each batch serially member-by-member (results are "
+            "identical, the vectorisation speedup is not)",
+            scheme,
+            batch_trials,
+        )
+        if sink.enabled:
+            sink.emit(
+                BatchDegradedToSerial(
+                    scheme=scheme,
+                    batch_trials=batch_trials,
+                    reason="no_batched_kernel",
+                )
+            )
     runner = TrialRunner(
         _sweep_trial,
         workers=workers,
         validator=validate_rate,
+        executor=executor,
         **resilience.runner_kwargs(),
     )
     try:
@@ -510,6 +543,7 @@ def sweep_capacity(
                     "workers": workers,
                     "batch_trials": batch_trials,
                     "backend": resolved_backend.name,
+                    "executor": getattr(executor, "name", None),
                 },
                 parameters=parameters,
                 trial_keys=keys,
@@ -569,6 +603,7 @@ def sweep_capacity(
                 "workers": workers,
                 "batch_trials": batch_trials,
                 "backend": resolved_backend.name,
+                "executor": getattr(executor, "name", None),
             },
             parameters=parameters,
             trial_keys=keys,

@@ -1,0 +1,51 @@
+"""Lease-based distributed sweep fabric.
+
+A sweep too big for one process leases content-addressed **trial shards**
+to worker **agents** over localhost sockets:
+
+- :mod:`repro.fabric.shards` -- partition a payload list into shards
+  identified by content digest.
+- :mod:`repro.fabric.lease` -- the pure lease table: TTL'd leases,
+  heartbeat health, capacity-weighted scheduling, per-agent strike /
+  drain and per-shard quarantine semantics (injectable clock).
+- :mod:`repro.fabric.wire` -- the newline-delimited-JSON protocol and the
+  payload codec.
+- :mod:`repro.fabric.agent` -- the worker process: execute leased shards
+  through a local :class:`~repro.parallel.TrialRunner`, journal to its
+  own :class:`~repro.store.RunStore`, stream every member back.
+- :mod:`repro.fabric.coordinator` -- accept agents, grant/expire leases,
+  rebalance on failure, merge streamed members first-wins.
+- :mod:`repro.fabric.executor` -- the
+  :class:`~repro.parallel.SweepExecutor` implementation
+  ``TrialRunner.run`` delegates to under ``sweep --fabric``; degrades
+  gracefully to local execution when no agents are reachable.
+
+The whole layer preserves the repo's determinism contract: a fabric sweep
+-- including one with agents killed or hung mid-lease -- reproduces the
+clean serial digest bit-for-bit, because seeds derive from the sweep
+master seed by global trial index no matter which agent runs a trial.
+"""
+
+from .agent import FabricAgent
+from .coordinator import DEFAULT_PORT, FabricCoordinator
+from .executor import FabricExecutor
+from .lease import AgentInfo, Lease, LeaseTable, ShardEntry
+from .shards import DEFAULT_SHARD_SIZE, TrialShard, partition_shards
+from .wire import MessageChannel, WireError, request_status
+
+__all__ = [
+    "AgentInfo",
+    "DEFAULT_PORT",
+    "DEFAULT_SHARD_SIZE",
+    "FabricAgent",
+    "FabricCoordinator",
+    "FabricExecutor",
+    "Lease",
+    "LeaseTable",
+    "MessageChannel",
+    "ShardEntry",
+    "TrialShard",
+    "WireError",
+    "partition_shards",
+    "request_status",
+]

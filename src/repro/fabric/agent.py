@@ -1,0 +1,364 @@
+"""The fabric worker agent: lease, execute, stream, heartbeat.
+
+One agent process holds one TCP connection to the coordinator.  A reader
+loop dispatches pushed ``lease`` messages onto a thread pool of
+``capacity`` shard workers; a timer thread heartbeats; every completed
+trial streams back immediately as a ``progress`` message (which doubles as
+the lease renewal), so an agent killed mid-shard has already delivered the
+members it finished -- the coordinator's first-wins merge keeps them.
+
+Each shard executes through a fresh local
+:class:`~repro.parallel.TrialRunner` (inline, no subprocesses: the agent
+*is* the worker) with the shard's trial function and validator resolved
+from their wire refs, seeds re-derived from the sweep master seed so every
+trial gets the exact stream a serial run would, and the agent's own
+:class:`~repro.store.RunStore` as the cache -- the agent-side journal that
+makes re-leases of a previously-attempted shard cheap and keeps results
+exactly-once per agent.
+
+Per-trial timeouts are intentionally not enforced agent-side: shard
+workers are threads, and the runner's ``SIGALRM`` watchdog only works in a
+main thread.  A wedged trial is the coordinator's problem by design -- its
+lease expires and the shard is re-leased elsewhere.
+
+Chaos hooks: a lease may carry ``fault: "agent-kill" | "agent-hang"`` and
+``fault_after: N``.  After streaming its Nth member the agent SIGKILLs
+itself (kill) or stops heartbeating and stalls (hang) -- the two
+mid-lease failure modes the rebalancing chaos tests drive.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+import uuid
+from typing import Any, Dict, Optional
+
+from ..observability.log import get_logger
+from ..parallel.runner import TrialRunner
+from ..store.runstore import RunStore
+from .wire import (
+    MessageChannel,
+    WireError,
+    decode_payload,
+    decode_retry_policy,
+    encode_payload,
+    resolve_ref,
+)
+
+__all__ = ["FabricAgent"]
+
+_log = get_logger(__name__)
+
+#: How long a hung agent stalls before giving up and exiting.  Far past
+#: any lease TTL, so the coordinator always wins the race.
+HANG_SECONDS = 3600.0
+
+
+def _derive_seeds(seed: int, total: int, indices):
+    """The shard's per-trial ``SeedSequence`` list, re-derived locally."""
+    import numpy as np
+
+    spawned = np.random.SeedSequence(seed).spawn(total)
+    return [spawned[i] for i in indices]
+
+
+class FabricAgent:
+    """One worker agent process (see module docstring).
+
+    Parameters
+    ----------
+    host, port:
+        The coordinator's listen address.
+    capacity:
+        Concurrent shard lease slots (the scheduling weight the
+        coordinator balances on).
+    store:
+        Directory for the agent-local :class:`RunStore` journal, or
+        ``None`` to run journal-less (results still stream; re-leases
+        re-execute).
+    agent_id:
+        Stable name for telemetry; defaults to ``<hostname>-<pid>-<rand>``.
+    heartbeat_interval:
+        Seconds between heartbeats (keep well under the coordinator's
+        ``agent_ttl``).
+    connect_timeout:
+        Seconds to keep retrying the initial connection (the agent may
+        start before the coordinator's sweep does).
+    idle_timeout:
+        Exit after this many seconds without holding any lease (``None``
+        = serve forever until ``shutdown``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7345,
+        capacity: int = 1,
+        store: Optional[str] = None,
+        agent_id: Optional[str] = None,
+        heartbeat_interval: float = 1.0,
+        connect_timeout: float = 30.0,
+        idle_timeout: Optional[float] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._host = host
+        self._port = port
+        self._capacity = capacity
+        self._store = RunStore(store) if store is not None else None
+        self.agent_id = agent_id or (
+            f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        )
+        self._heartbeat_interval = heartbeat_interval
+        self._connect_timeout = connect_timeout
+        self._idle_timeout = idle_timeout
+        self._channel: Optional[MessageChannel] = None
+        self._stop = threading.Event()
+        self._hang = threading.Event()
+        self._active = 0  # shard workers in flight
+        self._active_lock = threading.Lock()
+        self._last_busy = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> MessageChannel:
+        deadline = time.monotonic() + self._connect_timeout
+        delay = 0.1
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self._host, self._port), timeout=5.0
+                )
+                sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+                return MessageChannel(sock)
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise WireError(
+                        f"could not reach coordinator at "
+                        f"{self._host}:{self._port} within "
+                        f"{self._connect_timeout} s: {exc}"
+                    ) from exc
+                time.sleep(delay)
+                delay = min(delay * 2, 2.0)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self._heartbeat_interval):
+            if self._hang.is_set():
+                return  # a hung agent goes silent: that is the fault
+            try:
+                self._channel.send(
+                    {"type": "heartbeat", "agent": self.agent_id}
+                )
+            except WireError:
+                return
+
+    # ------------------------------------------------------------------
+    def _execute_shard(self, message: Dict[str, Any]) -> None:
+        shard_id = message["shard"]
+        try:
+            self._run_shard(message)
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            _log.warning(
+                "shard %s failed on agent %s: %s: %s",
+                shard_id,
+                self.agent_id,
+                type(exc).__name__,
+                exc,
+            )
+            try:
+                self._channel.send(
+                    {
+                        "type": "shard_failed",
+                        "agent": self.agent_id,
+                        "shard": shard_id,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+            except WireError:
+                pass
+        finally:
+            with self._active_lock:
+                self._active -= 1
+                self._last_busy = time.monotonic()
+
+    def _run_shard(self, message: Dict[str, Any]) -> None:
+        shard_id = message["shard"]
+        indices = [int(i) for i in message["indices"]]
+        payloads = [decode_payload(item) for item in message["payloads"]]
+        keys = list(message["keys"])
+        trial_fn = resolve_ref(message["trial_fn"])
+        validator = (
+            resolve_ref(message["validator"])
+            if message.get("validator")
+            else None
+        )
+        policy = decode_retry_policy(message["retry_policy"])
+        fault = message.get("fault")
+        fault_after = int(message.get("fault_after") or 1)
+        seeds = _derive_seeds(
+            int(message["seed"]), int(message["total"]), indices
+        )
+        _log.info(
+            "agent %s leased shard %s (%d trial(s))%s",
+            self.agent_id,
+            shard_id,
+            len(indices),
+            f" [armed: {fault}]" if fault else "",
+        )
+        runner = TrialRunner(
+            trial_fn,
+            workers=None,  # the agent is the worker; threads, not forks
+            retry_policy=policy,
+            validator=validator,
+        )
+        cache = self._store  # RunStore *is* the duck-typed get/put cache
+        results = runner.run(
+            payloads,
+            seed=int(message["seed"]),
+            cache=cache,
+            keys=keys,
+            seed_seqs=seeds,
+        )
+        streamed = 0
+        for local, result in enumerate(results):
+            member: Dict[str, Any] = {
+                "index": indices[local],
+                "ok": result.ok,
+                "attempts": result.attempts,
+                "duration": result.duration,
+                "cached": result.cached,
+            }
+            if result.ok:
+                member["value"] = encode_payload(result.value)
+            else:
+                member["error"] = {
+                    "kind": result.error.kind,
+                    "message": result.error.message,
+                    "attempts": result.error.attempts,
+                }
+            self._channel.send(
+                {
+                    "type": "progress",
+                    "agent": self.agent_id,
+                    "shard": shard_id,
+                    "member": member,
+                }
+            )
+            streamed += 1
+            if fault and streamed >= fault_after:
+                self._fire_fault(fault, shard_id)
+        self._channel.send(
+            {
+                "type": "shard_done",
+                "agent": self.agent_id,
+                "shard": shard_id,
+            }
+        )
+
+    def _fire_fault(self, fault: str, shard_id: str) -> None:
+        _log.warning(
+            "agent %s firing injected %s mid-shard %s",
+            self.agent_id,
+            fault,
+            shard_id,
+        )
+        if fault == "agent-kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if fault == "agent-hang":
+            self._hang.set()
+            time.sleep(HANG_SECONDS)
+            raise RuntimeError("hung agent woke up past every lease TTL")
+
+    # ------------------------------------------------------------------
+    def serve(self) -> int:
+        """Connect, register, and serve leases until shutdown.
+
+        Returns a process exit code: 0 after an orderly ``shutdown`` (or
+        idle timeout), 1 when the coordinator vanished mid-service.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._channel = self._connect()
+        self._channel.send(
+            {
+                "type": "hello",
+                "agent": self.agent_id,
+                "capacity": self._capacity,
+                "pid": os.getpid(),
+            }
+        )
+        welcome = self._channel.recv(timeout=10.0)
+        if welcome.get("type") != "welcome":
+            raise WireError(f"expected welcome, got {welcome!r}")
+        _log.info(
+            "agent %s registered (capacity %d) with coordinator %s:%d",
+            self.agent_id,
+            self._capacity,
+            self._host,
+            self._port,
+        )
+        heartbeats = threading.Thread(
+            target=self._heartbeat_loop, daemon=True
+        )
+        heartbeats.start()
+        workers = ThreadPoolExecutor(
+            max_workers=self._capacity,
+            thread_name_prefix=f"fabric-shard-{self.agent_id}",
+        )
+        self._last_busy = time.monotonic()
+        exit_code = 0
+        try:
+            while not self._stop.is_set():
+                try:
+                    message = self._channel.recv(timeout=0.5)
+                except WireError as exc:
+                    if "timed out" in str(exc):
+                        with self._active_lock:
+                            idle = (
+                                self._active == 0
+                                and self._idle_timeout is not None
+                                and time.monotonic() - self._last_busy
+                                > self._idle_timeout
+                            )
+                        if idle:
+                            _log.info(
+                                "agent %s idle for %.0f s; exiting",
+                                self.agent_id,
+                                self._idle_timeout,
+                            )
+                            self._send_goodbye()
+                            break
+                        continue
+                    _log.warning("coordinator gone: %s", exc)
+                    exit_code = 1
+                    break
+                kind = message.get("type")
+                if kind == "lease":
+                    with self._active_lock:
+                        self._active += 1
+                    workers.submit(self._execute_shard, message)
+                elif kind == "shutdown":
+                    _log.info(
+                        "agent %s received shutdown; draining", self.agent_id
+                    )
+                    break
+                # revoke / status_reply / unknown: nothing to do here --
+                # a revoked shard's late members are deduplicated away
+        finally:
+            self._stop.set()
+            workers.shutdown(wait=True)
+            self._channel.close()
+        return exit_code
+
+    def _send_goodbye(self) -> None:
+        try:
+            self._channel.send(
+                {"type": "goodbye", "agent": self.agent_id}
+            )
+        except WireError:
+            pass

@@ -1,0 +1,490 @@
+"""The fabric coordinator: accept agents, lease shards, merge results.
+
+Threading model: one accept thread plus one reader thread per connection
+feed a single :class:`~repro.fabric.lease.LeaseTable` and a first-wins
+member inbox, all under one lock.  The *drive loop* -- run on the sweep's
+own thread by :class:`~repro.fabric.executor.FabricExecutor` -- does
+everything with consequences: granting leases, expiring them, requeueing
+and quarantining shards, journaling merged members into the sweep's store,
+and emitting the fabric telemetry events.  Reader threads only mutate
+table state and append to the inbox, so a dead agent can never wedge the
+sweep: its silence is noticed by the clock, not by a blocked read.
+
+Exactly-once merge: agents stream one ``progress`` message per completed
+trial.  The first member to arrive for a global trial index wins; re-leases
+of a partially-completed shard produce duplicate members (bit-identical by
+seed construction) that are simply dropped.  Winning members flow through
+the runner's own validation + journal path, so the coordinator's store
+ends up exactly as an in-process run would leave it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..observability import events as _events
+from ..observability.log import get_logger
+from ..resilience.faults import FaultPlan
+from ..resilience.retry import RetryPolicy
+from .lease import LeaseTable
+from .shards import TrialShard
+from .wire import MessageChannel, WireError, encode_retry_policy
+
+__all__ = ["FabricCoordinator"]
+
+_log = get_logger(__name__)
+
+#: Default coordinator port (overridable; agents must be pointed at it).
+DEFAULT_PORT = 7345
+
+
+class FabricCoordinator:
+    """Lease shards to agents and merge their streamed results.
+
+    Parameters mirror the lease table's knobs; ``telemetry`` is the sink
+    fabric lifecycle events go to (the sweep's trace shows leases moving
+    between agents).  ``clock`` is injectable for the expiry unit tests.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        lease_ttl: float = 15.0,
+        agent_ttl: float = 10.0,
+        quarantine_failures: int = 2,
+        max_strikes: int = 2,
+        telemetry: Optional[_events.Telemetry] = None,
+        clock=time.monotonic,
+    ):
+        self._host = host
+        self._port = port
+        self._table = LeaseTable(
+            lease_ttl=lease_ttl,
+            agent_ttl=agent_ttl,
+            quarantine_failures=quarantine_failures,
+            max_strikes=max_strikes,
+            clock=clock,
+        )
+        self._sink = (
+            telemetry if telemetry is not None else _events.get_telemetry()
+        )
+        self._lock = threading.RLock()
+        self._channels: Dict[str, MessageChannel] = {}
+        self._members: Dict[int, Dict[str, Any]] = {}  # first-wins inbox
+        self._fresh: List[int] = []  # indices not yet consumed by the drive
+        self._completed_shards: List[str] = []
+        self._delisted_emitted: set = set()
+        self._quarantine_emitted: set = set()
+        self._retry_policy_message: Dict[str, Any] = encode_retry_policy(
+            RetryPolicy()
+        )
+        self._fault_plan: Optional[FaultPlan] = None
+        self._fault_fires: Dict[int, int] = {}  # clause position -> fires
+        self._server: Optional[socket.socket] = None
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (authoritative once :meth:`start` returned)."""
+        return self._port
+
+    @property
+    def table(self) -> LeaseTable:
+        return self._table
+
+    def configure(
+        self,
+        retry_policy,
+        fault_plan: Optional[FaultPlan],
+    ) -> None:
+        """Adopt the sweep runner's retry policy and fault plan."""
+        self._retry_policy_message = encode_retry_policy(retry_policy)
+        self._fault_plan = fault_plan
+        self._fault_fires = {}
+
+    def start(self) -> None:
+        """Bind, listen, and start accepting agent connections."""
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self._host, self._port))
+        server.listen(32)
+        server.settimeout(0.2)
+        self._server = server
+        self._port = server.getsockname()[1]
+        threading.Thread(
+            target=self._accept_loop, daemon=True, name="fabric-accept"
+        ).start()
+        _log.info(
+            "fabric coordinator listening on %s:%d", self._host, self._port
+        )
+
+    def stop(self) -> None:
+        """Shut everything down: agents get ``shutdown``, sockets close."""
+        self._stopping.set()
+        with self._lock:
+            channels = list(self._channels.values())
+        for channel in channels:
+            try:
+                channel.send({"type": "shutdown"})
+            except WireError:
+                pass
+            channel.close()
+        if self._server is not None:
+            self._server.close()
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(MessageChannel(conn),),
+                daemon=True,
+                name="fabric-reader",
+            ).start()
+
+    # ------------------------------------------------------------------
+    # per-connection reader
+    # ------------------------------------------------------------------
+    def _serve_connection(self, channel: MessageChannel) -> None:
+        agent_id: Optional[str] = None
+        try:
+            hello = channel.recv(timeout=10.0)
+            kind = hello.get("type")
+            if kind == "status":
+                channel.send(self._status_reply())
+                channel.close()
+                return
+            if kind != "hello":
+                raise WireError(f"expected hello, got {hello!r}")
+            agent_id = str(hello["agent"])
+            capacity = int(hello["capacity"])
+            with self._lock:
+                info = self._table.register_agent(agent_id, capacity)
+                self._channels[agent_id] = channel
+                self._delisted_emitted.discard(agent_id)
+                self._emit(
+                    _events.AgentRegistered(
+                        agent=agent_id, capacity=capacity
+                    )
+                )
+            _log.info(
+                "agent %s registered (capacity %d, %d strike(s) on record)",
+                agent_id,
+                capacity,
+                info.strikes,
+            )
+            channel.send({"type": "welcome", "agent": agent_id})
+            while not self._stopping.is_set():
+                message = channel.recv(timeout=None)
+                self._dispatch(agent_id, message)
+                if message.get("type") == "goodbye":
+                    return
+        except WireError as exc:
+            if agent_id is not None and not self._stopping.is_set():
+                _log.warning(
+                    "lost connection to agent %s: %s", agent_id, exc
+                )
+                with self._lock:
+                    self._on_agent_lost(agent_id, reason="dead")
+        finally:
+            with self._lock:
+                if (
+                    agent_id is not None
+                    and self._channels.get(agent_id) is channel
+                ):
+                    del self._channels[agent_id]
+            channel.close()
+
+    def _dispatch(self, agent_id: str, message: Dict[str, Any]) -> None:
+        kind = message.get("type")
+        with self._lock:
+            if kind == "heartbeat":
+                self._table.heartbeat(agent_id)
+            elif kind == "progress":
+                shard_id = str(message["shard"])
+                self._table.renew(shard_id, agent_id)
+                self._table.heartbeat(agent_id)
+                member = message["member"]
+                index = int(member["index"])
+                if index not in self._members:
+                    self._members[index] = member
+                    self._fresh.append(index)
+            elif kind == "shard_done":
+                self._table.complete(str(message["shard"]), agent_id)
+                self._completed_shards.append(str(message["shard"]))
+            elif kind == "shard_failed":
+                shard_id = str(message["shard"])
+                _log.warning(
+                    "agent %s reports shard %s failed: %s",
+                    agent_id,
+                    shard_id,
+                    message.get("error"),
+                )
+                outcome = self._table.fail_shard(shard_id, agent_id)
+                self._emit_shard_outcome(shard_id, agent_id, outcome)
+            elif kind == "goodbye":
+                self._on_agent_lost(agent_id, reason="gone")
+
+    def _on_agent_lost(self, agent_id: str, reason: str) -> None:
+        """Lock held.  Delist + requeue, emitting the lifecycle events."""
+        agents = {info.agent_id: info for info in self._table.agents()}
+        info = agents.get(agent_id)
+        if info is None or info.state in ("dead", "drained", "gone"):
+            return
+        requeued = self._table.agent_lost(agent_id, reason=reason)
+        if agent_id not in self._delisted_emitted:
+            self._delisted_emitted.add(agent_id)
+            self._emit(
+                _events.AgentDelisted(
+                    agent=agent_id,
+                    reason="shutdown" if reason == "gone" else reason,
+                    strikes=info.strikes,
+                )
+            )
+        for shard_id in requeued:
+            entry = self._table.entry(shard_id)
+            self._emit(
+                _events.ShardRequeued(
+                    shard=shard_id,
+                    agent=agent_id,
+                    failures=len(entry.failed_on),
+                )
+            )
+        self._emit_new_quarantines()
+
+    # ------------------------------------------------------------------
+    # events (always under the lock: sinks are not thread-safe)
+    # ------------------------------------------------------------------
+    def _emit(self, event: _events.TelemetryEvent) -> None:
+        if self._sink.enabled:
+            self._sink.emit(event)
+
+    def _emit_shard_outcome(
+        self, shard_id: str, agent_id: str, outcome: str
+    ) -> None:
+        if outcome == "ignored":
+            return
+        entry = self._table.entry(shard_id)
+        if outcome == "requeued":
+            self._emit(
+                _events.ShardRequeued(
+                    shard=shard_id,
+                    agent=agent_id,
+                    failures=len(entry.failed_on),
+                )
+            )
+        elif outcome == "quarantined":
+            self._emit_new_quarantines()
+        self._emit_drains()
+
+    def _emit_drains(self) -> None:
+        """Emit ``agent_delisted`` for agents the table drained inline."""
+        for info in self._table.agents():
+            if (
+                info.state in ("dead", "drained")
+                and info.agent_id not in self._delisted_emitted
+            ):
+                self._delisted_emitted.add(info.agent_id)
+                self._emit(
+                    _events.AgentDelisted(
+                        agent=info.agent_id,
+                        reason=info.state,
+                        strikes=info.strikes,
+                    )
+                )
+
+    def _emit_new_quarantines(self) -> None:
+        for entry in self._table.shards():
+            if (
+                entry.status == "quarantined"
+                and entry.shard.shard_id not in self._quarantine_emitted
+            ):
+                self._quarantine_emitted.add(entry.shard.shard_id)
+                self._emit(
+                    _events.ShardQuarantined(
+                        shard=entry.shard.shard_id,
+                        agents=tuple(sorted(entry.failed_on)),
+                        trials=len(entry.shard),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # status (the ``fabric agents|shards`` CLI view)
+    # ------------------------------------------------------------------
+    def _status_reply(self) -> Dict[str, Any]:
+        with self._lock:
+            now = self._table._clock()
+            agents = [
+                {
+                    "agent": info.agent_id,
+                    "capacity": info.capacity,
+                    "state": info.state,
+                    "strikes": info.strikes,
+                    "completed": info.completed,
+                    "leases": self._table.held_leases(info.agent_id),
+                    "heartbeat_age": round(now - info.last_heartbeat, 3),
+                }
+                for info in self._table.agents()
+            ]
+            shards = [
+                {
+                    "shard": entry.shard.shard_id,
+                    "status": entry.status,
+                    "trials": len(entry.shard),
+                    "agent": (
+                        entry.lease.agent_id
+                        if entry.lease is not None
+                        else None
+                    ),
+                    "failures": sorted(entry.failed_on),
+                }
+                for entry in self._table.shards()
+            ]
+        return {"type": "status_reply", "agents": agents, "shards": shards}
+
+    # ------------------------------------------------------------------
+    # scheduling (drive-loop side)
+    # ------------------------------------------------------------------
+    def wait_for_agents(self, timeout: float, min_agents: int = 1) -> int:
+        """Block up to ``timeout`` seconds for ``min_agents`` alive agents.
+
+        Returns however many are alive at that point -- the caller
+        decides whether a smaller fleet (or none) is worth sweeping on.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                alive = len(self._table.alive_agents())
+            if alive >= min_agents or time.monotonic() >= deadline:
+                return alive
+            time.sleep(0.05)
+
+    def submit(self, shards: List[TrialShard]) -> None:
+        with self._lock:
+            self._table.add_shards(shards)
+
+    def _arm_fault(self, shard: TrialShard) -> Optional[str]:
+        """Lock held.  The agent-level fault to attach to this grant."""
+        if self._fault_plan is None:
+            return None
+        for position, clause in enumerate(self._fault_plan.agent_clauses()):
+            if self._fault_fires.get(position, 0) >= clause.attempts:
+                continue
+            if any(clause.matches(index) for index in shard.indices):
+                self._fault_fires[position] = (
+                    self._fault_fires.get(position, 0) + 1
+                )
+                return clause.kind
+        return None
+
+    def pump(self) -> Tuple[List[Dict[str, Any]], bool]:
+        """One drive-loop turn: expire, grant, drain fresh members.
+
+        Returns ``(new members, stalled)`` where ``stalled`` means no
+        alive agent remains while shards are still outstanding -- the
+        signal for the executor to degrade the remainder to local
+        execution.
+        """
+        grants: List[Tuple[TrialShard, str, Optional[str]]] = []
+        with self._lock:
+            for shard_id, agent_id, held in self._table.expire():
+                entry = self._table.entry(shard_id)
+                self._emit(
+                    _events.LeaseExpired(
+                        shard=shard_id,
+                        agent=agent_id,
+                        held_seconds=round(held, 3),
+                    )
+                )
+                if entry.status == "queued":
+                    self._emit(
+                        _events.ShardRequeued(
+                            shard=shard_id,
+                            agent=agent_id,
+                            failures=len(entry.failed_on),
+                        )
+                    )
+            self._emit_drains()
+            self._emit_new_quarantines()
+            while True:
+                grant = self._table.next_grant()
+                if grant is None:
+                    break
+                shard, agent_id = grant
+                fault = self._arm_fault(shard)
+                grants.append((shard, agent_id, fault))
+                self._emit(
+                    _events.LeaseGranted(
+                        shard=shard.shard_id,
+                        agent=agent_id,
+                        trials=len(shard),
+                        ttl_seconds=self._table.lease_ttl,
+                    )
+                )
+            fresh = [self._members[index] for index in self._fresh]
+            self._fresh.clear()
+            stalled = (
+                not self._table.alive_agents()
+                and self._table.outstanding() > 0
+            )
+        for shard, agent_id, fault in grants:
+            self._send_lease(shard, agent_id, fault)
+        return fresh, stalled
+
+    def _send_lease(
+        self, shard: TrialShard, agent_id: str, fault: Optional[str]
+    ) -> None:
+        with self._lock:
+            channel = self._channels.get(agent_id)
+        if channel is None:
+            with self._lock:
+                outcome = self._table.fail_shard(shard.shard_id, agent_id)
+                self._emit_shard_outcome(shard.shard_id, agent_id, outcome)
+            return
+        message = dict(shard.lease_message())
+        message["type"] = "lease"
+        message["retry_policy"] = self._retry_policy_message
+        message["fault"] = fault
+        message["fault_after"] = 1  # fire after the first member: mid-lease
+        try:
+            channel.send(message)
+        except WireError as exc:
+            _log.warning(
+                "failed to send lease %s to agent %s: %s",
+                shard.shard_id,
+                agent_id,
+                exc,
+            )
+            with self._lock:
+                self._on_agent_lost(agent_id, reason="dead")
+
+    def outstanding(self) -> int:
+        with self._lock:
+            return self._table.outstanding()
+
+    def quarantined_indices(self) -> List[int]:
+        """Global trial indices buried in quarantined shards."""
+        with self._lock:
+            return sorted(
+                index
+                for entry in self._table.shards()
+                if entry.status == "quarantined"
+                for index in entry.shard.indices
+            )
+
+    def leaked(self) -> int:
+        with self._lock:
+            return self._table.leaked()

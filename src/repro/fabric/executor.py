@@ -1,0 +1,403 @@
+"""``FabricExecutor``: the distributed ``SweepExecutor`` implementation.
+
+Drives one :class:`~repro.fabric.coordinator.FabricCoordinator` per
+:meth:`run` call on the sweep's own thread: serve cache hits, partition
+the rest into content-addressed shards, lease them out, absorb streamed
+members first-wins through the runner's validation + journal path, and
+keep the whole contract of the in-process executor -- index-ordered
+results, full-count seed spawning, ``runner.last_stats`` -- so a fabric
+sweep's digest is bit-identical to a serial one.
+
+Graceful degradation (the robustness core):
+
+- No agent registers within ``wait_seconds`` -> log a warning, emit
+  ``fabric_degraded(reason="no_agents")`` and run everything locally
+  through the runner's own pool/inline machinery.
+- Every agent dies mid-sweep -> emit ``fabric_degraded(reason=
+  "agents_lost")`` and finish the unfinished, non-quarantined trials
+  locally.  Trials an agent already streamed are kept (first wins).
+- A shard that failed on ``quarantine_failures`` distinct agents is
+  quarantined: its unfinished trials surface as ``kind="quarantined"``
+  errors (never re-executed locally -- it killed two agents; the parent
+  is not volunteering), and the sweep completes ``status="partial"``.
+
+``run_batched`` is not distributed: batches are an intra-process
+vectorization, so it logs once and falls back to the in-process path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..observability import events as _events
+from ..observability.log import get_logger
+from ..parallel.executor import IN_PROCESS, SweepExecutor
+from ..parallel.runner import TrialError, TrialResult, TrialStats, _Emitter
+from .coordinator import DEFAULT_PORT, FabricCoordinator
+from .shards import DEFAULT_SHARD_SIZE, partition_shards
+from .wire import decode_payload, to_ref
+
+__all__ = ["FabricExecutor"]
+
+_log = get_logger(__name__)
+
+
+class FabricExecutor(SweepExecutor):
+    """Lease trial shards to worker agents; rebalance on failure.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address for the embedded coordinator (agents connect here).
+    shard_size:
+        Trials per shard (the lease granularity).
+    wait_seconds:
+        How long to wait for the first agent before degrading to local
+        execution.
+    min_agents:
+        Fleet warm-up floor: keep waiting (up to ``wait_seconds``) until
+        this many agents registered before leasing starts.  The sweep
+        still proceeds with however many showed up -- only a count of
+        zero degrades to local execution.
+    lease_ttl / agent_ttl:
+        Seconds before a silent lease / heartbeat is declared dead.
+    poll_interval:
+        Drive-loop cadence in seconds.
+    """
+
+    name = "fabric"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        wait_seconds: float = 10.0,
+        min_agents: int = 1,
+        lease_ttl: float = 15.0,
+        agent_ttl: float = 10.0,
+        poll_interval: float = 0.02,
+    ):
+        if min_agents < 1:
+            raise ValueError(f"min_agents must be >= 1, got {min_agents}")
+        self._host = host
+        self._port = port
+        self._shard_size = shard_size
+        self._wait_seconds = wait_seconds
+        self._min_agents = min_agents
+        self._lease_ttl = lease_ttl
+        self._agent_ttl = agent_ttl
+        self._poll_interval = poll_interval
+        self._last_coordinator: Optional[FabricCoordinator] = None
+
+    @property
+    def last_coordinator(self) -> Optional[FabricCoordinator]:
+        """The coordinator of the most recent run (tests inspect leases)."""
+        return self._last_coordinator
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        runner,
+        payloads: Sequence[Any],
+        seed: int,
+        submission_order: Optional[Sequence[int]] = None,
+        cache: Optional[Any] = None,
+        keys: Optional[Sequence[Optional[str]]] = None,
+        seed_seqs: Optional[Sequence[Any]] = None,
+    ) -> List[TrialResult]:
+        if seed_seqs is not None:
+            raise ValueError(
+                "seed_seqs override is an agent-side mechanism; the fabric "
+                "coordinator derives seeds from the sweep master seed"
+            )
+        payloads = list(payloads)
+        count = len(payloads)
+        if keys is not None and len(keys) != count:
+            raise ValueError(
+                f"need one key per payload: {len(keys)} keys, {count} payloads"
+            )
+        if count == 0:
+            runner._last_stats = TrialStats(0, 0, 0, 0.0, runner.workers)
+            return []
+        # submission_order only permutes local pool submission; shard
+        # membership is deterministic by construction, so it is moot here
+        start = time.perf_counter()
+        sink = (
+            runner._telemetry
+            if runner._telemetry is not None
+            else _events.get_telemetry()
+        )
+        emitter = _Emitter(sink, count)
+        emitter.begin()
+        results: List[Optional[TrialResult]] = [None] * count
+        if cache is not None and keys is not None:
+            for index in range(count):
+                if keys[index] is None:
+                    continue
+                hit = cache.get(keys[index])
+                if hit is not None:
+                    results[index] = TrialResult(
+                        index=index,
+                        value=hit.value,
+                        attempts=0,
+                        duration=hit.duration,
+                        cached=True,
+                    )
+                    emitter.cache_hit(results[index])
+        cache_hits = sum(1 for r in results if r is not None)
+        remaining = [i for i in range(count) if results[i] is None]
+        degraded = False
+        coordinator: Optional[FabricCoordinator] = None
+        if remaining:
+            seeds = np.random.SeedSequence(seed).spawn(count)
+            coordinator = FabricCoordinator(
+                host=self._host,
+                port=self._port,
+                lease_ttl=self._lease_ttl,
+                agent_ttl=self._agent_ttl,
+                telemetry=sink,
+            )
+            coordinator.configure(runner.retry_policy, runner._fault_plan)
+            self._last_coordinator = coordinator
+            coordinator.start()
+            try:
+                alive = coordinator.wait_for_agents(
+                    self._wait_seconds, self._min_agents
+                )
+                if alive == 0:
+                    _log.warning(
+                        "no fabric agents registered on %s:%d within "
+                        "%.0f s; degrading to local in-process execution "
+                        "of %d trial(s)",
+                        self._host,
+                        coordinator.port,
+                        self._wait_seconds,
+                        len(remaining),
+                    )
+                    if sink.enabled:
+                        sink.emit(
+                            _events.FabricDegraded(
+                                reason="no_agents", trials=len(remaining)
+                            )
+                        )
+                    degraded = True
+                    self._run_locally(
+                        runner, payloads, seeds, remaining, results,
+                        cache, keys, emitter,
+                    )
+                else:
+                    degraded = self._run_fabric(
+                        runner, coordinator, payloads, seed, seeds,
+                        remaining, results, cache, keys, emitter,
+                    )
+            finally:
+                coordinator.stop()
+        self._quarantine_unfinished(coordinator, results, emitter)
+        elapsed = time.perf_counter() - start
+        failures = sum(1 for r in results if not r.ok)
+        retries = sum(max(r.attempts - 1, 0) for r in results)
+        runner._last_stats = TrialStats(
+            trials=count,
+            failures=failures,
+            retries=retries,
+            elapsed_seconds=elapsed,
+            workers=runner.workers,
+            cache_hits=cache_hits,
+            degraded=degraded,
+        )
+        _log.debug("fabric run complete: %s", runner._last_stats.summary())
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _run_fabric(
+        self, runner, coordinator, payloads, seed, seeds, remaining,
+        results, cache, keys, emitter,
+    ) -> bool:
+        """Lease/absorb until done; returns True if degraded mid-sweep."""
+        validator_ref = (
+            to_ref(runner._validator)
+            if runner._validator is not None
+            else None
+        )
+        shards = partition_shards(
+            payloads,
+            remaining,
+            keys,
+            int(seed),
+            to_ref(runner._trial_fn),
+            validator_ref,
+            shard_size=self._shard_size,
+        )
+        coordinator.submit(shards)
+        _log.info(
+            "fabric sweep: %d trial(s) in %d shard(s) of <= %d, "
+            "%d agent(s) connected",
+            len(remaining),
+            len(shards),
+            self._shard_size,
+            len(coordinator.table.alive_agents()),
+        )
+        while True:
+            fresh, stalled = coordinator.pump()
+            for member in fresh:
+                self._absorb(runner, member, results, cache, keys, emitter)
+            if coordinator.outstanding() == 0:
+                fresh, _stalled = coordinator.pump()
+                for member in fresh:
+                    self._absorb(
+                        runner, member, results, cache, keys, emitter
+                    )
+                return False
+            if stalled:
+                quarantined = set(coordinator.quarantined_indices())
+                left = [
+                    index
+                    for index in remaining
+                    if results[index] is None and index not in quarantined
+                ]
+                _log.warning(
+                    "every fabric agent is gone; degrading %d remaining "
+                    "trial(s) to local in-process execution",
+                    len(left),
+                )
+                if emitter._enabled:
+                    emitter._sink.emit(
+                        _events.FabricDegraded(
+                            reason="agents_lost", trials=len(left)
+                        )
+                    )
+                if left:
+                    self._run_locally(
+                        runner, payloads, seeds, left, results, cache,
+                        keys, emitter,
+                    )
+                return True
+            time.sleep(self._poll_interval)
+
+    # ------------------------------------------------------------------
+    def _run_locally(
+        self, runner, payloads, seeds, order, results, cache, keys, emitter
+    ) -> None:
+        """Local fallback through the runner's own machinery."""
+        if runner.workers is None:
+            runner._run_inline(
+                payloads, seeds, order, results, cache, keys, emitter
+            )
+        else:
+            runner._run_pool(
+                payloads, seeds, order, results, cache, keys, emitter
+            )
+
+    def _absorb(
+        self, runner, member, results, cache, keys, emitter
+    ) -> None:
+        """Merge one streamed member (first wins) through validation and
+        the journal, exactly as the in-process path would."""
+        index = int(member["index"])
+        if results[index] is not None:
+            return
+        attempts = int(member.get("attempts") or 0)
+        emitter.started(index, max(attempts, 1))
+        if member.get("ok"):
+            value = decode_payload(member["value"])
+            message = (
+                runner._validator(value)
+                if runner._validator is not None
+                else None
+            )
+            if message is not None:
+                result = TrialResult(
+                    index=index,
+                    value=None,
+                    attempts=attempts,
+                    duration=0.0,
+                    error=TrialError(
+                        trial_index=index,
+                        kind="invalid_result",
+                        message=message,
+                        attempts=attempts,
+                    ),
+                )
+            else:
+                result = runner._journal(
+                    cache,
+                    keys,
+                    TrialResult(
+                        index=index,
+                        value=value,
+                        attempts=attempts,
+                        duration=float(member.get("duration") or 0.0),
+                    ),
+                    emitter,
+                )
+        else:
+            error = member.get("error") or {}
+            result = TrialResult(
+                index=index,
+                value=None,
+                attempts=attempts,
+                duration=0.0,
+                error=TrialError(
+                    trial_index=index,
+                    kind=str(error.get("kind", "exception")),
+                    message=str(error.get("message", "agent-side failure")),
+                    attempts=int(error.get("attempts", attempts) or attempts),
+                ),
+            )
+        results[index] = result
+        emitter.finished(result)
+
+    def _quarantine_unfinished(
+        self, coordinator, results, emitter
+    ) -> None:
+        """Fail every index buried in a quarantined shard (and any index
+        the fabric somehow lost) as ``kind="quarantined"``."""
+        if coordinator is None:
+            return
+        quarantined = set(coordinator.quarantined_indices())
+        for index, result in enumerate(results):
+            if result is not None:
+                continue
+            reason = (
+                "shard failed on two distinct agents (poison shard)"
+                if index in quarantined
+                else "trial unaccounted for after fabric shutdown"
+            )
+            error = TrialError(
+                trial_index=index,
+                kind="quarantined",
+                message=reason,
+                attempts=0,
+            )
+            results[index] = TrialResult(
+                index=index,
+                value=None,
+                attempts=0,
+                duration=0.0,
+                error=error,
+            )
+            emitter.finished(results[index])
+
+    # ------------------------------------------------------------------
+    def run_batched(
+        self,
+        runner,
+        payloads: Sequence[Any],
+        batch_fn: Callable[[Sequence[Any], Sequence[Any]], Sequence[Any]],
+        plan,
+        seed: int,
+        cache: Optional[Any] = None,
+        keys: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[TrialResult]:
+        _log.warning(
+            "batched execution is an intra-process vectorization; "
+            "--fabric does not distribute it -- running the batches "
+            "locally"
+        )
+        return IN_PROCESS.run_batched(
+            runner, payloads, batch_fn, plan, seed, cache, keys
+        )

@@ -1,0 +1,379 @@
+"""The lease table: agent health, capacity scheduling, shard lifecycle.
+
+Pure bookkeeping with an injectable monotonic clock (the same pattern as
+:class:`repro.resilience.PoolSupervisor`), so every expiry / quarantine /
+drain decision is unit-testable without sockets, threads or sleeps.  The
+coordinator owns one instance and serializes access under its lock.
+
+Lifecycle invariants the chaos tests lean on:
+
+- A shard is in exactly one state: ``queued``, ``leased``, ``done`` or
+  ``quarantined``.  ``grant`` moves queued -> leased; ``complete`` moves
+  leased -> done; a failure (lease expiry, agent death, explicit
+  ``shard_failed``) moves leased -> queued ("requeued") until the shard
+  has failed on :attr:`quarantine_failures` *distinct* agents, when it
+  moves to ``quarantined`` -- the per-agent carry-over of the pool
+  supervisor's crash-storm quarantine.
+- An agent is ``alive`` until it misses heartbeats past
+  :attr:`agent_ttl`, disconnects, or accumulates :attr:`max_strikes`
+  lease failures, at which point it is delisted (``dead`` / ``drained``)
+  and every lease it held is failed back into the queue.
+- Scheduling is capacity-weighted: each agent may hold up to ``capacity``
+  concurrent leases, and the next grant goes to the alive agent with the
+  most *free* slots (ties broken by registration order), so a 4-slot
+  agent drains the queue four shards at a time while a 1-slot agent
+  trickles -- and never to an agent the shard already failed on, when any
+  other candidate exists.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .shards import TrialShard
+
+__all__ = ["AgentInfo", "Lease", "LeaseTable", "ShardEntry"]
+
+
+@dataclass
+class AgentInfo:
+    """Coordinator-side view of one registered agent."""
+
+    agent_id: str
+    capacity: int
+    registered_at: float
+    last_heartbeat: float
+    #: ``alive`` | ``dead`` (missed heartbeats / connection lost) |
+    #: ``drained`` (struck out) | ``gone`` (orderly goodbye).
+    state: str = "alive"
+    #: Lease failures attributed to this agent (death mid-lease included).
+    strikes: int = 0
+    #: Shards completed by this agent (for the ``fabric agents`` view).
+    completed: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.state == "alive"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One active grant of a shard to an agent."""
+
+    shard_id: str
+    agent_id: str
+    granted_at: float
+    expires_at: float
+
+
+@dataclass
+class ShardEntry:
+    """Lifecycle state of one shard inside the table."""
+
+    shard: TrialShard
+    status: str = "queued"  # queued | leased | done | quarantined
+    lease: Optional[Lease] = None
+    #: Distinct agents this shard has failed on.
+    failed_on: Set[str] = field(default_factory=set)
+
+
+class LeaseTable:
+    """See module docstring.  Not thread-safe by itself: the coordinator
+    wraps every call in its own lock."""
+
+    def __init__(
+        self,
+        lease_ttl: float = 15.0,
+        agent_ttl: float = 10.0,
+        quarantine_failures: int = 2,
+        max_strikes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if lease_ttl <= 0 or agent_ttl <= 0:
+            raise ValueError("lease_ttl and agent_ttl must be positive")
+        if quarantine_failures < 1 or max_strikes < 1:
+            raise ValueError(
+                "quarantine_failures and max_strikes must be >= 1"
+            )
+        self.lease_ttl = lease_ttl
+        self.agent_ttl = agent_ttl
+        self.quarantine_failures = quarantine_failures
+        self.max_strikes = max_strikes
+        self._clock = clock
+        self._agents: Dict[str, AgentInfo] = {}
+        self._shards: Dict[str, ShardEntry] = {}
+        self._queue: List[str] = []  # queued shard ids, FIFO
+
+    # ------------------------------------------------------------------
+    # agents
+    # ------------------------------------------------------------------
+    def register_agent(self, agent_id: str, capacity: int) -> AgentInfo:
+        """Register (or revive) an agent with ``capacity`` lease slots."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        now = self._clock()
+        info = self._agents.get(agent_id)
+        if info is None:
+            info = AgentInfo(
+                agent_id=agent_id,
+                capacity=capacity,
+                registered_at=now,
+                last_heartbeat=now,
+            )
+            self._agents[agent_id] = info
+        else:
+            # a re-registering agent comes back clean-slated but keeps its
+            # strike history: a flapping agent does not launder its record
+            # by reconnecting
+            info.capacity = capacity
+            info.state = "alive"
+            info.last_heartbeat = now
+        return info
+
+    def heartbeat(self, agent_id: str) -> bool:
+        """Record liveness; ``False`` if the agent is unknown/delisted."""
+        info = self._agents.get(agent_id)
+        if info is None or not info.alive:
+            return False
+        info.last_heartbeat = self._clock()
+        return True
+
+    def agent_lost(self, agent_id: str, reason: str = "dead") -> List[str]:
+        """Delist an agent (connection lost / goodbye / drained).
+
+        Returns the shard ids whose leases were failed back into the
+        queue (quarantined shards excluded -- they leave the queue for
+        good).
+        """
+        info = self._agents.get(agent_id)
+        if info is None or info.state in ("dead", "drained", "gone"):
+            return []
+        info.state = reason
+        requeued = []
+        for entry in self._shards.values():
+            if entry.lease is not None and entry.lease.agent_id == agent_id:
+                outcome = self._fail_lease(entry, strike=reason != "gone")
+                if outcome == "requeued":
+                    requeued.append(entry.shard.shard_id)
+        return requeued
+
+    def agents(self) -> List[AgentInfo]:
+        """Every known agent, in registration order."""
+        return sorted(self._agents.values(), key=lambda a: a.registered_at)
+
+    def alive_agents(self) -> List[AgentInfo]:
+        return [info for info in self.agents() if info.alive]
+
+    def held_leases(self, agent_id: str) -> int:
+        return sum(
+            1
+            for entry in self._shards.values()
+            if entry.lease is not None and entry.lease.agent_id == agent_id
+        )
+
+    # ------------------------------------------------------------------
+    # shards
+    # ------------------------------------------------------------------
+    def add_shards(self, shards: Sequence[TrialShard]) -> None:
+        for shard in shards:
+            if shard.shard_id in self._shards:
+                raise ValueError(f"duplicate shard {shard.shard_id}")
+            self._shards[shard.shard_id] = ShardEntry(shard=shard)
+            self._queue.append(shard.shard_id)
+
+    def entry(self, shard_id: str) -> ShardEntry:
+        return self._shards[shard_id]
+
+    def shards(self) -> List[ShardEntry]:
+        """Every shard entry, in submission order."""
+        order = {
+            shard_id: position
+            for position, shard_id in enumerate(self._shards)
+        }
+        return sorted(
+            self._shards.values(),
+            key=lambda e: order[e.shard.shard_id],
+        )
+
+    def outstanding(self) -> int:
+        """Shards not yet done or quarantined."""
+        return sum(
+            1
+            for entry in self._shards.values()
+            if entry.status in ("queued", "leased")
+        )
+
+    def leaked(self) -> int:
+        """Shards stuck leased to a non-alive agent (zero by invariant)."""
+        return sum(
+            1
+            for entry in self._shards.values()
+            if entry.lease is not None
+            and not self._agents[entry.lease.agent_id].alive
+        )
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def next_grant(self) -> Optional[Tuple[TrialShard, str]]:
+        """The next (shard, agent) pair to lease, or ``None``.
+
+        Capacity-weighted: the alive agent with the most free lease slots
+        wins (registration order breaks ties).  An agent the shard has
+        already failed on is chosen only when no untried candidate has a
+        free slot -- a poison shard must reach a *distinct* agent for the
+        quarantine count to mean anything.
+        """
+        for position, shard_id in enumerate(self._queue):
+            entry = self._shards[shard_id]
+            candidates = [
+                (self.held_leases(info.agent_id) - info.capacity, rank, info)
+                for rank, info in enumerate(self.alive_agents())
+                if self.held_leases(info.agent_id) < info.capacity
+            ]
+            if not candidates:
+                return None
+            untried = [
+                item
+                for item in candidates
+                if item[2].agent_id not in entry.failed_on
+            ]
+            pool = untried if untried else candidates
+            _slots, _rank, info = min(pool, key=lambda item: item[:2])
+            del self._queue[position]
+            now = self._clock()
+            entry.status = "leased"
+            entry.lease = Lease(
+                shard_id=shard_id,
+                agent_id=info.agent_id,
+                granted_at=now,
+                expires_at=now + self.lease_ttl,
+            )
+            return entry.shard, info.agent_id
+        return None
+
+    def renew(self, shard_id: str, agent_id: str) -> bool:
+        """Extend a lease on progress/heartbeat; ``False`` if not held."""
+        entry = self._shards.get(shard_id)
+        if (
+            entry is None
+            or entry.lease is None
+            or entry.lease.agent_id != agent_id
+        ):
+            return False
+        now = self._clock()
+        entry.lease = Lease(
+            shard_id=shard_id,
+            agent_id=agent_id,
+            granted_at=entry.lease.granted_at,
+            expires_at=now + self.lease_ttl,
+        )
+        return True
+
+    def complete(self, shard_id: str, agent_id: str) -> bool:
+        """Mark a shard done; ``False`` if the lease moved on (stale
+        completion from an agent the coordinator already gave up on --
+        harmless, because results are deduplicated first-wins)."""
+        entry = self._shards.get(shard_id)
+        if entry is None:
+            return False
+        if entry.status == "done":
+            return False
+        if entry.lease is None or entry.lease.agent_id != agent_id:
+            # late completion after expiry: accept the work (the members
+            # already streamed) but don't credit a lease that was revoked
+            if entry.status == "quarantined":
+                return False
+            entry.status = "done"
+            entry.lease = None
+            if entry.shard.shard_id in self._queue:
+                self._queue.remove(entry.shard.shard_id)
+            return True
+        entry.status = "done"
+        entry.lease = None
+        info = self._agents.get(agent_id)
+        if info is not None:
+            info.completed += 1
+        return True
+
+    def fail_shard(self, shard_id: str, agent_id: str) -> str:
+        """Record a shard failure on ``agent_id``.
+
+        Returns ``"requeued"`` or ``"quarantined"`` (or ``"ignored"`` for
+        a stale failure report).  The reporting agent takes a strike; at
+        :attr:`max_strikes` it is drained and delisted.
+        """
+        entry = self._shards.get(shard_id)
+        if entry is None or entry.status in ("done", "quarantined"):
+            return "ignored"
+        if entry.lease is not None and entry.lease.agent_id != agent_id:
+            return "ignored"
+        return self._fail_lease(entry, strike=True, agent_id=agent_id)
+
+    def expire(self) -> List[Tuple[str, str, float]]:
+        """Expire overdue leases and heartbeat-silent agents.
+
+        Returns ``(shard_id, agent_id, held_seconds)`` for every lease
+        that lapsed.  An agent whose *heartbeat* lapsed is delisted as
+        dead (which fails all its leases); a single overdue lease on an
+        otherwise-live agent fails just that lease -- the agent may be
+        wedged on one shard while healthy elsewhere.
+        """
+        now = self._clock()
+        expired: List[Tuple[str, str, float]] = []
+        for info in list(self._agents.values()):
+            if info.alive and now - info.last_heartbeat > self.agent_ttl:
+                held = [
+                    (
+                        entry.shard.shard_id,
+                        info.agent_id,
+                        now - entry.lease.granted_at,
+                    )
+                    for entry in self._shards.values()
+                    if entry.lease is not None
+                    and entry.lease.agent_id == info.agent_id
+                ]
+                self.agent_lost(info.agent_id, reason="dead")
+                expired.extend(held)
+        for entry in self._shards.values():
+            lease = entry.lease
+            if lease is None or now <= lease.expires_at:
+                continue
+            expired.append(
+                (entry.shard.shard_id, lease.agent_id, now - lease.granted_at)
+            )
+            self._fail_lease(entry, strike=True)
+        return expired
+
+    # ------------------------------------------------------------------
+    def _fail_lease(
+        self,
+        entry: ShardEntry,
+        strike: bool,
+        agent_id: Optional[str] = None,
+    ) -> str:
+        """Shared failure path: strike the agent, requeue or quarantine."""
+        lease_agent = agent_id or (
+            entry.lease.agent_id if entry.lease is not None else None
+        )
+        entry.lease = None
+        if lease_agent is not None:
+            entry.failed_on.add(lease_agent)
+            info = self._agents.get(lease_agent)
+            if strike and info is not None:
+                info.strikes += 1
+                if info.alive and info.strikes >= self.max_strikes:
+                    # draining recurses into agent_lost, which fails the
+                    # agent's other leases through this same path
+                    self.agent_lost(lease_agent, reason="drained")
+        if len(entry.failed_on) >= self.quarantine_failures:
+            entry.status = "quarantined"
+            if entry.shard.shard_id in self._queue:
+                self._queue.remove(entry.shard.shard_id)
+            return "quarantined"
+        entry.status = "queued"
+        if entry.shard.shard_id not in self._queue:
+            self._queue.append(entry.shard.shard_id)
+        return "requeued"

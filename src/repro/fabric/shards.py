@@ -1,0 +1,112 @@
+"""Content-addressed trial shards: the fabric's unit of leasing.
+
+A sweep's payload list is partitioned into contiguous shards of at most
+``shard_size`` trials.  Each shard is identified by a digest over its
+*content* -- the encoded payload slice, the global indices, the sweep's
+master seed and total trial count, and the trial/validator callables -- so
+the same sweep always yields the same shard ids, re-leases are idempotent,
+and a shard id in a telemetry trace names exactly one piece of work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..store.keys import content_digest
+from .wire import encode_payload
+
+__all__ = ["TrialShard", "partition_shards"]
+
+#: Default trials per shard.  Small enough that losing an agent mid-lease
+#: forfeits little work; large enough that the per-lease wire overhead is
+#: noise against real trial runtimes.
+DEFAULT_SHARD_SIZE = 4
+
+
+@dataclass(frozen=True)
+class TrialShard:
+    """One leasable slice of a sweep (immutable; identified by content).
+
+    ``indices`` are *global* trial indices into the sweep's payload list;
+    ``payloads`` / ``keys`` are the corresponding slices, with payloads
+    already wire-encoded (the coordinator encodes once, however many times
+    the shard is leased).  ``total`` and ``seed`` let an agent re-derive
+    the full ``SeedSequence.spawn`` list and select this shard's streams.
+    """
+
+    shard_id: str
+    indices: Tuple[int, ...]
+    payloads: Tuple[Any, ...]  # wire-encoded, index-aligned with ``indices``
+    keys: Tuple[Optional[str], ...]
+    seed: int
+    total: int
+    trial_fn_ref: str
+    validator_ref: Optional[str]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def lease_message(self) -> Dict[str, Any]:
+        """The static part of this shard's ``lease`` wire message."""
+        return {
+            "shard": self.shard_id,
+            "indices": list(self.indices),
+            "payloads": list(self.payloads),
+            "keys": list(self.keys),
+            "seed": self.seed,
+            "total": self.total,
+            "trial_fn": self.trial_fn_ref,
+            "validator": self.validator_ref,
+        }
+
+
+def partition_shards(
+    payloads: Sequence[Any],
+    indices: Sequence[int],
+    keys: Optional[Sequence[Optional[str]]],
+    seed: int,
+    trial_fn_ref: str,
+    validator_ref: Optional[str],
+    shard_size: int = DEFAULT_SHARD_SIZE,
+) -> List[TrialShard]:
+    """Partition the *unfinished* trial indices into content-addressed shards.
+
+    ``indices`` is the subset of ``range(len(payloads))`` still needing
+    execution (cache hits excluded); shards take contiguous runs of it in
+    order, so shard membership is deterministic for a given sweep state.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    total = len(payloads)
+    shards: List[TrialShard] = []
+    for start in range(0, len(indices), shard_size):
+        member_indices = tuple(indices[start : start + shard_size])
+        encoded = tuple(encode_payload(payloads[i]) for i in member_indices)
+        member_keys = tuple(
+            keys[i] if keys is not None else None for i in member_indices
+        )
+        shard_id = content_digest(
+            {
+                "kind": "fabric_shard",
+                "indices": list(member_indices),
+                "payloads": list(encoded),
+                "seed": seed,
+                "total": total,
+                "trial_fn": trial_fn_ref,
+                "validator": validator_ref,
+            }
+        )[:16]
+        shards.append(
+            TrialShard(
+                shard_id=shard_id,
+                indices=member_indices,
+                payloads=encoded,
+                keys=member_keys,
+                seed=seed,
+                total=total,
+                trial_fn_ref=trial_fn_ref,
+                validator_ref=validator_ref,
+            )
+        )
+    return shards

@@ -1,0 +1,253 @@
+"""Fabric wire protocol: newline-delimited JSON over localhost sockets.
+
+One coordinator listens on ``127.0.0.1``; each worker agent holds one
+long-lived TCP connection to it.  Every message is a single JSON object on
+one line with a ``"type"`` field; big values (shard payload slices) ride
+along as tagged-JSON trees produced by :func:`encode_payload`.
+
+Agent -> coordinator messages::
+
+    hello         {agent, capacity, pid}        registration
+    heartbeat     {agent}                       liveness (fire-and-forget)
+    progress      {agent, shard, member}        one completed trial: renews
+                                                the lease AND streams the
+                                                member result
+    shard_done    {agent, shard}                every member streamed
+    shard_failed  {agent, shard, error}         shard could not run at all
+    status        {}                            observer query (CLI)
+    goodbye       {agent}                       orderly exit
+
+Coordinator -> agent messages::
+
+    welcome       {agent, lease_ttl}            registration ack
+    lease         {shard, indices, total, seed, payloads, keys, trial_fn,
+                   validator, retry_policy, fault, fault_after}
+    revoke        {shard}                       lease expired elsewhere;
+                                                stop working on it
+    status_reply  {agents, shards}              answer to ``status``
+    shutdown      {}                            sweep over, drain and exit
+
+Determinism note: a lease does not carry seed material per trial.  It
+carries the sweep's master ``seed`` plus the *full* trial count and the
+shard's global indices; the agent re-derives
+``SeedSequence(seed).spawn(total)`` locally and selects its slice, so every
+trial runs from exactly the stream a serial run would give it, no matter
+which agent executes it or how often the shard is re-leased.
+
+The payload codec: sweep payloads are tuples containing
+:class:`~repro.store.keys.TrialSeed` instances, which the store's tagged
+JSON serializer deliberately does not register (registering them would
+change the pinned cache schema fingerprint).  :func:`encode_payload`
+therefore walks the tree first, replacing ``TrialSeed`` with a
+``{"__fabric__": "trial_seed"}`` tag, and hands the rest to the store's
+:func:`~repro.store.serialize.to_jsonable`; :func:`decode_payload` inverts
+both layers.  The fabric tag lives outside the store schema on purpose --
+wire messages are transient, never journaled.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import socket
+import threading
+from dataclasses import asdict
+from typing import Any, Callable, Dict, Optional
+
+from ..resilience.retry import RetryPolicy
+from ..store.keys import TrialSeed
+from ..store.serialize import from_jsonable, to_jsonable
+
+__all__ = [
+    "MessageChannel",
+    "WireError",
+    "decode_payload",
+    "decode_retry_policy",
+    "encode_payload",
+    "encode_retry_policy",
+    "request_status",
+    "resolve_ref",
+    "to_ref",
+]
+
+#: Tag key marking fabric-level (non-store) encodings.
+_FABRIC_TAG = "__fabric__"
+
+#: Hard cap on one wire message (64 MiB): a shard of a few hundred sweep
+#: payloads is well under 1 MiB; anything bigger is a protocol bug, not a
+#: workload, and must not balloon the reader's buffer.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class WireError(RuntimeError):
+    """A malformed frame, oversized message, or closed peer."""
+
+
+# ----------------------------------------------------------------------
+# payload codec
+# ----------------------------------------------------------------------
+def _tag_seeds(obj: Any) -> Any:
+    """Recursively replace ``TrialSeed`` with a fabric wire tag."""
+    if isinstance(obj, TrialSeed):
+        return {
+            _FABRIC_TAG: "trial_seed",
+            "entropy": obj.entropy,
+            "spawn_index": obj.spawn_index,
+        }
+    if isinstance(obj, tuple):
+        return tuple(_tag_seeds(item) for item in obj)
+    if isinstance(obj, list):
+        return [_tag_seeds(item) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _tag_seeds(value) for key, value in obj.items()}
+    return obj
+
+
+def _untag_seeds(obj: Any) -> Any:
+    """Invert :func:`_tag_seeds` after store-level decoding."""
+    if isinstance(obj, dict):
+        if obj.get(_FABRIC_TAG) == "trial_seed":
+            return TrialSeed(
+                entropy=int(obj["entropy"]),
+                spawn_index=int(obj["spawn_index"]),
+            )
+        return {key: _untag_seeds(value) for key, value in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(_untag_seeds(item) for item in obj)
+    if isinstance(obj, list):
+        return [_untag_seeds(item) for item in obj]
+    return obj
+
+
+def encode_payload(payload: Any) -> Any:
+    """JSON-ready encoding of one sweep payload (or trial value)."""
+    return to_jsonable(_tag_seeds(payload))
+
+
+def decode_payload(encoded: Any) -> Any:
+    """Invert :func:`encode_payload`."""
+    return _untag_seeds(from_jsonable(encoded))
+
+
+def encode_retry_policy(policy: RetryPolicy) -> Dict[str, Any]:
+    """Plain-JSON form of a retry policy (scalars + sorted kind list)."""
+    data = asdict(policy)
+    data["retry_on"] = sorted(policy.retry_on)
+    return data
+
+
+def decode_retry_policy(data: Dict[str, Any]) -> RetryPolicy:
+    """Invert :func:`encode_retry_policy`."""
+    fields = dict(data)
+    fields["retry_on"] = frozenset(fields["retry_on"])
+    return RetryPolicy(**fields)
+
+
+def to_ref(fn: Callable) -> str:
+    """``"module:qualname"`` reference to a module-level callable."""
+    return f"{fn.__module__}:{fn.__qualname__}"
+
+
+def resolve_ref(ref: str) -> Callable:
+    """Import the callable a :func:`to_ref` string names.
+
+    Only plain module attributes resolve (the same restriction pickling
+    already imposes on trial functions), so a hostile ref cannot traverse
+    into arbitrary object graphs.
+    """
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname or "." in qualname:
+        raise WireError(f"malformed callable reference {ref!r}")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, qualname)
+    except AttributeError as exc:
+        raise WireError(f"cannot resolve {ref!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+class MessageChannel:
+    """One newline-delimited-JSON message stream over a socket.
+
+    Reads are single-threaded (one reader loop per connection); writes may
+    come from several threads (an agent's heartbeat timer and its shard
+    workers share the socket) and are serialized with a lock.  A closed or
+    misbehaving peer surfaces as :class:`WireError` from either side.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._buffer = b""
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def send(self, message: Dict[str, Any]) -> None:
+        """Send one message (thread-safe)."""
+        data = json.dumps(message, separators=(",", ":")).encode() + b"\n"
+        if len(data) > MAX_MESSAGE_BYTES:
+            raise WireError(
+                f"refusing to send {len(data)} byte message "
+                f"(cap {MAX_MESSAGE_BYTES})"
+            )
+        try:
+            with self._send_lock:
+                self._sock.sendall(data)
+        except OSError as exc:
+            raise WireError(f"peer gone while sending: {exc}") from exc
+
+    def recv(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Receive one message; raises :class:`WireError` on EOF/timeout."""
+        self._sock.settimeout(timeout)
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_MESSAGE_BYTES:
+                raise WireError("oversized frame from peer")
+            try:
+                chunk = self._sock.recv(1 << 16)
+            except socket.timeout as exc:
+                raise WireError("timed out waiting for a message") from exc
+            except OSError as exc:
+                raise WireError(f"peer gone while receiving: {exc}") from exc
+            if not chunk:
+                raise WireError("connection closed by peer")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise WireError(f"malformed frame: {exc}") from exc
+        if not isinstance(message, dict) or "type" not in message:
+            raise WireError(f"frame is not a typed message: {message!r}")
+        return message
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def request_status(
+    host: str, port: int, timeout: float = 5.0
+) -> Dict[str, Any]:
+    """One-shot observer query: the coordinator's ``status_reply``.
+
+    Backs the ``repro fabric agents|shards`` CLI views.  Raises
+    :class:`WireError` when no coordinator is listening.
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise WireError(
+            f"no fabric coordinator at {host}:{port}: {exc}"
+        ) from exc
+    channel = MessageChannel(sock)
+    try:
+        channel.send({"type": "status"})
+        return channel.recv(timeout=timeout)
+    finally:
+        channel.close()

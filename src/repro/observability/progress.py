@@ -91,12 +91,31 @@ class ProgressRenderer(Telemetry):
         return self.done / elapsed
 
     @property
-    def eta_seconds(self) -> float:
-        """Projected seconds to finish the remaining trials (nan early)."""
-        rate = self.trials_per_second
-        if not math.isfinite(rate) or rate <= 0 or self.total <= 0:
+    def fresh_trials_per_second(self) -> float:
+        """Freshly *executed* trials (cache hits excluded) per second."""
+        elapsed = self.elapsed_seconds
+        fresh = self.done - self.cached
+        if elapsed <= 0 or fresh <= 0:
             return float("nan")
-        return max(self.total - self.done, 0) / rate
+        return fresh / elapsed
+
+    @property
+    def eta_seconds(self) -> float:
+        """Projected seconds to finish the remaining trials (nan early).
+
+        Remaining trials all have to *execute*, so the projection uses the
+        fresh-only rate: a resumed sweep replays its cached prefix in
+        near-zero time, and folding those hits into the rate would predict
+        the tail finishes just as instantly (wildly optimistic ETAs).
+        Until a fresh trial completes -- e.g. mid-replay -- the ETA is
+        unknown (``nan``), not a fantasy extrapolated from cache hits.
+        """
+        if self.total <= 0 or self.done >= self.total:
+            return float("nan") if self.total <= 0 else 0.0
+        rate = self.fresh_trials_per_second
+        if not math.isfinite(rate) or rate <= 0:
+            return float("nan")
+        return (self.total - self.done) / rate
 
     @property
     def cache_hit_rate(self) -> float:

@@ -84,6 +84,7 @@ from ..observability.log import get_logger
 from ..resilience.faults import FaultPlan
 from ..resilience.retry import RetryPolicy
 from ..resilience.supervisor import PoolSupervisor
+from .executor import IN_PROCESS, SweepExecutor
 
 __all__ = [
     "TrialError",
@@ -423,6 +424,13 @@ class TrialRunner:
         Crash-storm threshold: after ``max_rebuilds`` pool rebuilds within
         the window, crash-implicated payloads are quarantined and the run
         degrades to inline serial execution.
+    executor:
+        The :class:`~repro.parallel.executor.SweepExecutor` substrate that
+        :meth:`run` / :meth:`run_batched` delegate to.  ``None`` (the
+        default) uses the in-process executor -- inline or this runner's
+        own worker pool, the historical behaviour.  A
+        :class:`repro.fabric.FabricExecutor` instead leases trial shards
+        to worker agents and rebalances on agent failure.
     """
 
     #: Extra parent-side slack (seconds) on top of ``timeout`` before the
@@ -448,6 +456,7 @@ class TrialRunner:
         validator: Optional[Callable[[Any], Optional[str]]] = None,
         max_rebuilds: int = 3,
         rebuild_window_seconds: float = 60.0,
+        executor: Optional[SweepExecutor] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1 or None, got {workers}")
@@ -476,6 +485,7 @@ class TrialRunner:
         self._validator = validator
         self._max_rebuilds = max_rebuilds
         self._rebuild_window = rebuild_window_seconds
+        self._executor = executor if executor is not None else IN_PROCESS
         self._last_stats: Optional[TrialStats] = None
 
     @property
@@ -492,6 +502,11 @@ class TrialRunner:
     def last_stats(self) -> Optional[TrialStats]:
         """Throughput counters of the most recent :meth:`run` call."""
         return self._last_stats
+
+    @property
+    def executor(self) -> SweepExecutor:
+        """The execution substrate :meth:`run` delegates to."""
+        return self._executor
 
     @staticmethod
     def resolve_workers(workers: Optional[int]) -> Optional[int]:
@@ -511,6 +526,7 @@ class TrialRunner:
         cache: Optional[Any] = None,
         keys: Optional[Sequence[Optional[str]]] = None,
         shared: Optional[Any] = None,
+        seed_seqs: Optional[Sequence[Any]] = None,
     ) -> List[TrialResult]:
         """Run one trial per payload; results are ordered by trial index.
 
@@ -534,17 +550,24 @@ class TrialRunner:
         ``KeyboardInterrupt`` and on SIGTERM (which the resilience layer's
         :func:`~repro.resilience.drain.interruptible` converts into a
         ``KeyboardInterrupt`` subclass that propagates through here).
+
+        ``seed_seqs`` overrides the per-trial ``SeedSequence`` list (one
+        entry per payload) instead of spawning from ``seed``.  Fabric
+        agents use it to execute a shard *slice* of a sweep with the exact
+        full-count-spawned seeds the coordinator derived, preserving the
+        worker-count-independent streams.
         """
         try:
-            return self._run_guarded(
-                payloads, seed, submission_order, cache, keys
+            return self._executor.run(
+                self, payloads, seed, submission_order, cache, keys,
+                seed_seqs,
             )
         finally:
             if shared is not None:
                 shared.unlink_all()
 
     def _run_guarded(
-        self, payloads, seed, submission_order, cache, keys
+        self, payloads, seed, submission_order, cache, keys, seed_seqs=None
     ) -> List[TrialResult]:
         payloads = list(payloads)
         count = len(payloads)
@@ -588,7 +611,15 @@ class TrialRunner:
         pool_rebuilds = 0
         degraded = False
         if remaining:
-            seeds = np.random.SeedSequence(seed).spawn(count)
+            if seed_seqs is not None:
+                if len(seed_seqs) != count:
+                    raise ValueError(
+                        f"need one seed sequence per payload: "
+                        f"{len(seed_seqs)} seeds, {count} payloads"
+                    )
+                seeds = list(seed_seqs)
+            else:
+                seeds = np.random.SeedSequence(seed).spawn(count)
             if self._workers is None:
                 self._run_inline(
                     payloads, seeds, remaining, results, cache, keys, emitter
@@ -647,8 +678,8 @@ class TrialRunner:
         if not isinstance(plan, BatchedTrialPlan):
             raise TypeError(f"plan must be a BatchedTrialPlan, got {type(plan)}")
         try:
-            return self._run_batched_guarded(
-                payloads, batch_fn, plan, seed, cache, keys
+            return self._executor.run_batched(
+                self, payloads, batch_fn, plan, seed, cache, keys
             )
         finally:
             if shared is not None:
@@ -855,6 +886,11 @@ class TrialRunner:
         fault = self._fault_plan.fault_for(index, attempt)
         if fault == "io":
             # journal faults fire at cache.put time, not in the trial body
+            return None
+        if fault is not None and fault.startswith("agent-"):
+            # agent-level faults are armed by the fabric coordinator (they
+            # target whichever agent holds the lease, not a trial body);
+            # outside the fabric they are inert by design.
             return None
         if fault == "kill" and inline:
             _log.debug(

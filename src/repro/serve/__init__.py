@@ -25,7 +25,13 @@ The CLI exposes all of it as ``repro serve query|regress|report`` and
 routes ``repro runs list|show`` through the same index.
 """
 
-from .index import RefreshStats, RunIndex, RunRecord, family_key
+from .index import (
+    MergedRunIndex,
+    RefreshStats,
+    RunIndex,
+    RunRecord,
+    family_key,
+)
 from .query import QuerySpec, run_query
 from .regress import (
     DEFAULT_SLOWDOWN_THRESHOLD,
@@ -38,6 +44,7 @@ from .report import build_report, render_html, render_json, write_report
 
 __all__ = [
     "DEFAULT_SLOWDOWN_THRESHOLD",
+    "MergedRunIndex",
     "QuerySpec",
     "RefreshStats",
     "Regression",

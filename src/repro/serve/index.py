@@ -38,7 +38,7 @@ import pathlib
 import time
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..observability.events import IndexRefreshed, get_telemetry
 from ..observability.log import get_logger
@@ -47,6 +47,7 @@ from ..store.runstore import RunStore, manifest_sort_key
 
 __all__ = [
     "INDEX_VERSION",
+    "MergedRunIndex",
     "RefreshStats",
     "RunIndex",
     "RunRecord",
@@ -59,10 +60,12 @@ _log = get_logger(__name__)
 #: with a different version is discarded and rebuilt from the manifests.
 INDEX_VERSION = 1
 
-#: Config keys that change *how fast* a run executes but never its value
-#: (results are bit-identical at any worker count / batch width), excluded
-#: from the cache-key family so reruns remain comparable.
-VOLATILE_CONFIG_KEYS = frozenset({"workers", "batch_trials"})
+#: Config keys that change *how fast* (or *where*) a run executes but
+#: never its value (results are bit-identical at any worker count, batch
+#: width or execution substrate -- a fabric sweep reproduces the serial
+#: digest), excluded from the cache-key family so reruns remain
+#: comparable.
+VOLATILE_CONFIG_KEYS = frozenset({"workers", "batch_trials", "executor"})
 
 
 def family_key(manifest: dict) -> str:
@@ -434,6 +437,105 @@ class RunIndex:
 
     def families(self) -> Dict[str, List[RunRecord]]:
         """Records grouped by cache-key family, oldest first per family."""
+        groups: Dict[str, List[RunRecord]] = {}
+        for record in reversed(self.records()):
+            groups.setdefault(record.family, []).append(record)
+        return groups
+
+
+class MergedRunIndex:
+    """One queryable index over several stores' run manifests.
+
+    Duck-types the :class:`RunIndex` surface the serve layer consumes
+    (``refresh`` / ``records`` / ``get`` / ``resolve`` / ``families`` /
+    ``__len__`` / ``root``) over an ordered list of member indexes, so
+    ``serve query|regress|report`` and ``runs list`` work unchanged when
+    ``--store`` is passed more than once -- e.g. a fabric coordinator
+    store plus each agent's journal directory.
+
+    A run id is resolved across every member; records are interleaved
+    newest-first exactly as a single index orders them.  Regression
+    families therefore span stores: two runs of the same experiment land
+    in the same family no matter which store's manifest directory each
+    manifest lives in.
+    """
+
+    def __init__(self, indexes: Sequence[Union[RunIndex, str, pathlib.Path]]):
+        if not indexes:
+            raise ValueError("a merged index needs at least one store")
+        self.indexes: List[RunIndex] = [
+            index if isinstance(index, RunIndex) else RunIndex(index)
+            for index in indexes
+        ]
+
+    @property
+    def root(self) -> pathlib.Path:
+        """The primary (first) store's root, where single-store callers
+        expect paths to resolve."""
+        return self.indexes[0].root
+
+    @property
+    def roots(self) -> List[pathlib.Path]:
+        """Every member store root, in lookup order."""
+        return [index.root for index in self.indexes]
+
+    def refresh(self) -> RefreshStats:
+        """Reconcile every member index; returns the summed stats."""
+        start = time.perf_counter()
+        manifests = parsed = removed = 0
+        for index in self.indexes:
+            stats = index.refresh()
+            manifests += stats.manifests
+            parsed += stats.parsed
+            removed += stats.removed
+        return RefreshStats(
+            manifests=manifests,
+            parsed=parsed,
+            removed=removed,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def __len__(self) -> int:
+        return sum(len(index) for index in self.indexes)
+
+    def records(self) -> List[RunRecord]:
+        """All member records merged newest-first (same ordering keys as
+        a single index: ``created_ts``, then the ``created`` string)."""
+        merged: List[RunRecord] = []
+        for index in self.indexes:
+            merged.extend(index.records())
+        merged.sort(key=lambda r: r.run_id)
+        merged.sort(key=lambda r: (r.created_ts, r.created), reverse=True)
+        return merged
+
+    def get(self, run_id: str) -> RunRecord:
+        """The record for an exact ``run_id``, searched in store order."""
+        for index in self.indexes:
+            try:
+                return index.get(run_id)
+            except KeyError:
+                continue
+        raise KeyError(f"no stored run matches {run_id!r}")
+
+    def resolve(self, prefix: str) -> str:
+        """The unique run id starting with ``prefix`` across all stores."""
+        matches = set()
+        for index in self.indexes:
+            try:
+                matches.add(index.resolve(prefix))
+            except KeyError as exc:
+                if "ambiguous" in str(exc):
+                    raise
+        if not matches:
+            raise KeyError(f"no stored run matches {prefix!r}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"run id {prefix!r} is ambiguous: {', '.join(sorted(matches))}"
+            )
+        return matches.pop()
+
+    def families(self) -> Dict[str, List[RunRecord]]:
+        """Merged records grouped by family, oldest first per family."""
         groups: Dict[str, List[RunRecord]] = {}
         for record in reversed(self.records()):
             groups.setdefault(record.family, []).append(record)

@@ -25,6 +25,7 @@ Layers:
 """
 
 from .keys import TrialSeed, canonical_json, content_digest, trial_key
+from .merged import MergedStore, open_merged_store
 from .provenance import collect_provenance
 from .runstore import (
     CachedTrial,
@@ -46,6 +47,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "CachedTrial",
     "GCStats",
+    "MergedStore",
     "RunStore",
     "TrialSeed",
     "UnserializableValue",
@@ -54,6 +56,7 @@ __all__ = [
     "content_digest",
     "from_jsonable",
     "manifest_sort_key",
+    "open_merged_store",
     "open_store",
     "register_payload",
     "schema_fingerprint",

@@ -376,6 +376,11 @@ class RunStore:
         self._ensure_index()
         return len(self._index)
 
+    def keys(self) -> List[str]:
+        """Every cached trial key (used by merged multi-store views)."""
+        self._ensure_index()
+        return list(self._index)
+
     # ------------------------------------------------------------------
     # run manifests
     # ------------------------------------------------------------------
@@ -594,7 +599,8 @@ def open_store(
     store: Union[None, str, pathlib.Path, RunStore], use_cache: bool = True
 ) -> Optional[RunStore]:
     """Normalise a ``store=`` argument: path-like values open a
-    :class:`RunStore`, existing stores and ``None`` pass through."""
-    if store is None or isinstance(store, RunStore):
+    :class:`RunStore`; ``None`` and existing store objects (including
+    :class:`~repro.store.merged.MergedStore`) pass through."""
+    if store is None or not isinstance(store, (str, pathlib.Path)):
         return store
     return RunStore(store, use_cache=use_cache)

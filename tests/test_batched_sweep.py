@@ -17,7 +17,11 @@ from repro.experiments.scaling import (
     sweep_trial_payloads,
 )
 from repro.observability import RecordingTelemetry
-from repro.observability.events import BackendSelected, using_telemetry
+from repro.observability.events import (
+    BackendSelected,
+    BatchDegradedToSerial,
+    using_telemetry,
+)
 
 STRONG = NetworkParameters(
     alpha="1/4", cluster_exponent=1, bs_exponent="1/2", backbone_exponent=1
@@ -120,3 +124,36 @@ class TestTelemetry:
         assert events[0].backend == "numpy64"
         assert events[0].canonical
         assert events[0].batch_trials == 0
+
+
+class TestSerialFallbackWarning:
+    def test_scheme_without_batched_kernel_emits_degradation_event(
+        self, caplog
+    ):
+        sink = RecordingTelemetry()
+        with using_telemetry(sink):
+            with caplog.at_level(
+                "WARNING", logger="repro.experiments.scaling"
+            ):
+                result = sweep_capacity(
+                    STRONG, GRID, scheme="A", trials=2, seed=5,
+                    batch_trials=3,
+                )
+        events = sink.of_type(BatchDegradedToSerial)
+        assert len(events) == 1
+        assert events[0].scheme == "A"
+        assert events[0].batch_trials == 3
+        assert events[0].reason == "no_batched_kernel"
+        assert any(
+            "serially member-by-member" in record.message
+            for record in caplog.records
+        )
+        # the fallback is still correct, just not vectorized
+        want = sweep_capacity(STRONG, GRID, scheme="A", trials=2, seed=5)
+        assert result.digest() == want.digest()
+
+    def test_batched_scheme_does_not_emit_degradation(self):
+        sink = RecordingTelemetry()
+        with using_telemetry(sink):
+            serial_sweep(batch_trials=3)
+        assert sink.of_type(BatchDegradedToSerial) == []

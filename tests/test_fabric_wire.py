@@ -1,0 +1,148 @@
+"""Wire codec and shard partitioning tests (no sockets needed)."""
+
+import numpy as np
+import pytest
+
+from repro.core.regimes import NetworkParameters
+from repro.experiments.scaling import _sweep_trial, sweep_trial_payloads
+from repro.fabric.shards import partition_shards
+from repro.fabric.wire import (
+    WireError,
+    decode_payload,
+    decode_retry_policy,
+    encode_payload,
+    encode_retry_policy,
+    request_status,
+    resolve_ref,
+    to_ref,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.store import TrialSeed
+
+
+class TestPayloadCodec:
+    def test_sweep_payload_round_trips_with_trial_seed(self):
+        params = NetworkParameters(alpha="1/4", bs_exponent="1/2")
+        payloads = sweep_trial_payloads(params, [64], "B", 2, seed=9)
+        for payload in payloads:
+            decoded = decode_payload(encode_payload(payload))
+            assert decoded == payload
+            assert isinstance(decoded[5], TrialSeed)
+            # the seed must rebuild the exact same stream
+            assert (
+                decoded[5].rng().integers(1 << 30)
+                == payload[5].rng().integers(1 << 30)
+            )
+
+    def test_trial_seed_nested_in_containers_round_trips(self):
+        seed = TrialSeed(7, 3)
+        tree = {"a": [seed, 1.5], "b": (seed, {"c": seed})}
+        decoded = decode_payload(encode_payload(tree))
+        assert decoded["a"][0] == seed
+        assert decoded["b"][0] == seed
+        assert decoded["b"][1]["c"] == seed
+
+    def test_float_values_round_trip_exactly(self):
+        value = np.float64(0.12345678901234567)
+        assert decode_payload(encode_payload(value)) == value
+        assert np.isnan(decode_payload(encode_payload(float("nan"))))
+
+
+class TestRetryPolicyCodec:
+    def test_round_trip(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base=0.5, backoff_multiplier=3.0
+        )
+        assert decode_retry_policy(encode_retry_policy(policy)) == policy
+
+    def test_wire_form_is_plain_json(self):
+        import json
+
+        encoded = encode_retry_policy(RetryPolicy())
+        json.dumps(encoded)  # must not raise
+        assert isinstance(encoded["retry_on"], list)
+
+
+class TestCallableRefs:
+    def test_sweep_trial_resolves(self):
+        ref = to_ref(_sweep_trial)
+        assert ref == "repro.experiments.scaling:_sweep_trial"
+        assert resolve_ref(ref) is _sweep_trial
+
+    def test_malformed_refs_are_rejected(self):
+        for ref in ("no-colon", ":attr", "mod:", "mod:a.b"):
+            with pytest.raises(WireError):
+                resolve_ref(ref)
+
+    def test_missing_attribute_is_a_wire_error(self):
+        with pytest.raises(WireError, match="cannot resolve"):
+            resolve_ref("repro.experiments.scaling:not_a_function")
+
+
+class TestPartitionShards:
+    def _payloads(self, count=6, seed=9):
+        params = NetworkParameters(alpha="1/4", bs_exponent="1/2")
+        return sweep_trial_payloads(params, [64, 128, 256], "B", 2, seed=seed)
+
+    def test_shard_ids_are_deterministic(self):
+        payloads = self._payloads()
+        kwargs = dict(
+            keys=None, seed=9, trial_fn_ref="m:f", validator_ref=None,
+            shard_size=2,
+        )
+        first = partition_shards(payloads, range(6), **kwargs)
+        second = partition_shards(payloads, range(6), **kwargs)
+        assert [s.shard_id for s in first] == [s.shard_id for s in second]
+        assert len(first) == 3
+        assert all(len(s) == 2 for s in first)
+
+    def test_shard_ids_fold_in_seed_and_membership(self):
+        payloads = self._payloads()
+        base = partition_shards(
+            payloads, range(6), None, 9, "m:f", None, shard_size=2
+        )
+        other_seed = partition_shards(
+            self._payloads(seed=10), range(6), None, 10, "m:f", None,
+            shard_size=2,
+        )
+        subset = partition_shards(
+            payloads, [1, 2, 3, 4], None, 9, "m:f", None, shard_size=2
+        )
+        assert {s.shard_id for s in base}.isdisjoint(
+            {s.shard_id for s in other_seed}
+        )
+        assert {s.shard_id for s in base}.isdisjoint(
+            {s.shard_id for s in subset}
+        )
+
+    def test_lease_message_is_json_ready(self):
+        import json
+
+        payloads = self._payloads()
+        (shard,) = partition_shards(
+            payloads, [0, 1], None, 9,
+            "repro.experiments.scaling:_sweep_trial", None, shard_size=4,
+        )
+        message = shard.lease_message()
+        json.dumps(message)  # wire messages must be plain JSON
+        assert message["indices"] == [0, 1]
+        assert message["total"] == len(payloads)
+        decoded = decode_payload(message["payloads"][1])
+        assert decoded == payloads[1]
+
+    def test_rejects_bad_shard_size(self):
+        with pytest.raises(ValueError, match="shard_size"):
+            partition_shards([], [], None, 0, "m:f", None, shard_size=0)
+
+
+class TestStatusClient:
+    def test_no_coordinator_is_a_wire_error(self):
+        # bind-then-close to find a port that is definitely not listening
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(WireError, match="no fabric coordinator"):
+            request_status("127.0.0.1", port, timeout=0.5)

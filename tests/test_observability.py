@@ -158,8 +158,42 @@ class TestProgressMath:
         assert renderer.total == 8
         assert renderer.done == 4
         assert renderer.trials_per_second == pytest.approx(2.0)
-        assert renderer.eta_seconds == pytest.approx(2.0)
+        # the 4 remaining trials must all *execute*, so the projection uses
+        # the fresh rate (3 executed / 2 s), not the cache-inflated one
+        assert renderer.fresh_trials_per_second == pytest.approx(1.5)
+        assert renderer.eta_seconds == pytest.approx(4 / 1.5)
         assert renderer.cache_hit_rate == pytest.approx(0.25)
+
+    def test_eta_ignores_cached_prefix_of_resumed_sweep(self):
+        import math
+
+        renderer, clock = make_renderer()
+        # a resumed sweep replays 6 of 8 trials from the cache near-instantly
+        renderer.emit(SweepProgress(done=0, total=8, cached=0, failed=0,
+                                    elapsed_seconds=0.0))
+        clock.now += 0.01
+        renderer.emit(SweepProgress(done=6, total=8, cached=6, failed=0,
+                                    elapsed_seconds=0.01))
+        # no fresh trial has completed yet: the ETA is unknown, not ~0
+        assert math.isnan(renderer.eta_seconds)
+        # one fresh trial lands after 2 s of real execution
+        clock.now += 2.0
+        renderer.emit(SweepProgress(done=7, total=8, cached=6, failed=0,
+                                    elapsed_seconds=2.01))
+        assert renderer.fresh_trials_per_second == pytest.approx(1 / 2.01)
+        # the last trial is projected at the fresh rate (~2 s), not the
+        # replay-inflated overall rate (~0.3 s)
+        assert renderer.eta_seconds == pytest.approx(2.01)
+        assert renderer.trials_per_second == pytest.approx(7 / 2.01)
+
+    def test_eta_is_zero_when_done(self):
+        renderer, clock = make_renderer()
+        renderer.emit(SweepProgress(done=0, total=2, cached=0, failed=0,
+                                    elapsed_seconds=0.0))
+        clock.now += 1.0
+        renderer.emit(SweepProgress(done=2, total=2, cached=1, failed=0,
+                                    elapsed_seconds=1.0))
+        assert renderer.eta_seconds == 0.0
 
     def test_trial_events_increment_counts(self):
         renderer, clock = make_renderer()
